@@ -1,0 +1,347 @@
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (Sec. 4). Each BenchmarkFigN regenerates the figure's full data series;
+// the b.N loop measures the cost of the whole experiment, and the first
+// iteration's output is checked against the paper's anchor values so a
+// benchmark run is also a reproduction run.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package fedshare_test
+
+import (
+	"math"
+	"testing"
+
+	"fedshare/internal/coalition"
+	"fedshare/internal/core"
+	"fedshare/internal/economics"
+	"fedshare/internal/figures"
+	"fedshare/internal/loss"
+	"fedshare/internal/stats"
+)
+
+func anchor(b *testing.B, f *figures.Figure, series string, x, want, tol float64) {
+	b.Helper()
+	for _, s := range f.Series {
+		if s.Name != series {
+			continue
+		}
+		y, ok := s.YAt(x)
+		if !ok {
+			b.Fatalf("%s: no point at x=%g in %s", f.ID, x, series)
+		}
+		if math.Abs(y-want) > tol {
+			b.Fatalf("%s: %s(%g) = %g, paper shape wants %g (±%g)", f.ID, series, x, y, want, tol)
+		}
+		return
+	}
+	b.Fatalf("%s: series %s missing", f.ID, series)
+}
+
+// BenchmarkFig2 regenerates the utility-function figure (Fig 2).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig2()
+		if i == 0 {
+			anchor(b, f, "d=1.0", 100, 100, 1e-9)
+			anchor(b, f, "d=0.8", 40, 0, 0) // below threshold
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the threshold sweep (Fig 4): the staircase of
+// Shapley shares against the flat proportional rule.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig4(false)
+		if i == 0 {
+			anchor(b, f, "pi2", 500, 4.0/13, 1e-9)  // paper: π̂2 = 4/13
+			anchor(b, f, "phi1", 1250, 1.0/3, 1e-9) // grand-only equal split
+			anchor(b, f, "phi3", 1350, 0, 0)        // infeasible demand
+		}
+	}
+}
+
+// BenchmarkFig4Strict regenerates Fig 4 under the strict-threshold
+// convention that matches the paper's worked numbers exactly.
+func BenchmarkFig4Strict(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig4(true)
+		if i == 0 {
+			anchor(b, f, "phi2", 500, 2.0/13, 1e-9) // paper: φ̂2 = 2/13
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates the utility-shape sweep (Fig 5).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig5()
+		if i == 0 {
+			// Convexity pulls Shapley toward proportional: by d = 2.5 the
+			// facility-3 gap must be small.
+			var phi3, pi3 float64
+			for _, s := range f.Series {
+				if s.Name == "phi3" {
+					phi3, _ = s.YAt(2.5)
+				}
+				if s.Name == "pi3" {
+					pi3, _ = s.YAt(2.5)
+				}
+			}
+			if math.Abs(phi3-pi3) > 0.12 {
+				b.Fatalf("fig5: phi3-pi3 gap %g at d=2.5, expected convergence", phi3-pi3)
+			}
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates the capacity-aware threshold sweep (Fig 6):
+// equal L_i·R_i, very different Shapley shares.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig6()
+		if i == 0 {
+			anchor(b, f, "phi1", 0, 1.0/3, 1e-6)
+			anchor(b, f, "pi1", 900, 1.0/3, 1e-6)
+			anchor(b, f, "phi1", 1250, 1.0/3, 1e-6)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates the demand-mixture sweep (Fig 7).
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig7()
+		if i == 0 {
+			var lo, hi float64
+			for _, s := range f.Series {
+				if s.Name == "phi3" {
+					lo, _ = s.YAt(0)
+					hi, _ = s.YAt(1)
+				}
+			}
+			if hi <= lo {
+				b.Fatalf("fig7: phi3 must rise with sigma (%g -> %g)", lo, hi)
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates the demand-volume sweep (Fig 8) including the
+// consumption-proportional rule ρ̂.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig8()
+		if i == 0 {
+			anchor(b, f, "rho3", 5, 8.0/13, 0.05) // low demand: diversity profile
+			var rLo, rHi float64
+			for _, s := range f.Series {
+				if s.Name == "rho3" {
+					rLo, _ = s.YAt(5)
+					rHi, _ = s.YAt(100)
+				}
+			}
+			if rHi >= rLo {
+				b.Fatalf("fig8: rho3 must fall with demand (%g -> %g)", rLo, rHi)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates the provision-incentive curves (Fig 9).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.Fig9()
+		if i == 0 {
+			// Proportional profit at l=0 grows smoothly to L1·R1-level
+			// values; Shapley at l=800 must exhibit a threshold jump.
+			var maxStep, sumStep float64
+			n := 0
+			for _, s := range f.Series {
+				if s.Name != "phi1,l=800" {
+					continue
+				}
+				for k := 1; k < len(s.Points); k++ {
+					d := math.Abs(s.Points[k].Y - s.Points[k-1].Y)
+					if d > maxStep {
+						maxStep = d
+					}
+					sumStep += d
+					n++
+				}
+			}
+			if n == 0 || maxStep < 3*sumStep/float64(n) {
+				b.Fatalf("fig9: missing threshold jump (max %g, mean %g)", maxStep, sumStep/float64(n))
+			}
+		}
+	}
+}
+
+// BenchmarkMultiplexing runs the loss-network extension backing Sec. 3.2.1:
+// short holding times make federation super-additive via statistical
+// multiplexing.
+func BenchmarkMultiplexing(b *testing.B) {
+	cfg := loss.Config{
+		Stations: []loss.Station{
+			{Label: "a", Count: 4, Capacity: 1},
+			{Label: "b", Count: 4, Capacity: 1},
+		},
+		Arrivals: []economics.ArrivalSpec{{
+			Type: economics.ExperimentType{
+				Name: "e", MinLocations: 3, MaxLocations: 3,
+				Resources: 1, HoldingTime: 0.1, Shape: 1,
+			},
+			Rate: 30,
+		}},
+		Horizon: 500,
+		Seed:    7,
+	}
+	for i := 0; i < b.N; i++ {
+		gap, err := loss.SuperadditivityGap(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = gap
+	}
+}
+
+// BenchmarkFigureTables measures the rendering path used by fedsim.
+func BenchmarkFigureTables(b *testing.B) {
+	f := figures.Fig4(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Table()
+	}
+}
+
+// BenchmarkSeriesOps measures the stats series hot path.
+func BenchmarkSeriesOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var s stats.Series
+		for x := 0; x < 100; x++ {
+			s.Add(float64(x), float64(x*x))
+		}
+		if _, ok := s.YAt(50); !ok {
+			b.Fatal("missing point")
+		}
+	}
+}
+
+// BenchmarkAblationDiversityPremium measures the design-choice ablation:
+// how much share mass the diversity threshold moves relative to the
+// capacity-only counterfactual (DESIGN.md's ablation entry).
+func BenchmarkAblationDiversityPremium(b *testing.B) {
+	demand, err := economics.NewWorkload(economics.DemandClass{
+		Type: economics.ExperimentType{
+			Name: "e", MinLocations: 500, MaxLocations: math.Inf(1),
+			Resources: 1, HoldingTime: 1, Shape: 1,
+		},
+		Count: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewModel([]core.Facility{
+			{Name: "F1", Locations: 100, Resources: 1},
+			{Name: "F2", Locations: 400, Resources: 1},
+			{Name: "F3", Locations: 800, Resources: 1},
+		}, demand)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ab, err := core.DiversityAblation(m, core.ShapleyPolicy{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			moved := core.TotalDistortion(ab.ActualShares, ab.NoThresholdShares)
+			if moved <= 0.02 {
+				b.Fatalf("diversity should move share mass, got %g", moved)
+			}
+		}
+	}
+}
+
+// BenchmarkHierarchicalShapley measures the two-level (Owen) division over
+// a PLC/PLE(+members)/PLJ hierarchy.
+func BenchmarkHierarchicalShapley(b *testing.B) {
+	demand, err := economics.NewWorkload(economics.DemandClass{
+		Type: economics.ExperimentType{
+			Name: "e", MinLocations: 500, MaxLocations: math.Inf(1),
+			Resources: 1, HoldingTime: 1, Shape: 1,
+		},
+		Count: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := []core.AuthorityGroup{
+		{Name: "PLC", Members: []core.Facility{{Name: "PLC", Locations: 100, Resources: 1}}},
+		{Name: "PLE", Members: []core.Facility{
+			{Name: "PLE-core", Locations: 250, Resources: 1},
+			{Name: "G-Lab", Locations: 100, Resources: 1},
+			{Name: "EmanicsLab", Locations: 50, Resources: 1},
+		}},
+		{Name: "PLJ", Members: []core.Facility{{Name: "PLJ", Locations: 800, Resources: 1}}},
+	}
+	for i := 0; i < b.N; i++ {
+		hs, err := core.HierarchicalShapley(groups, demand, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Quotient consistency with the flat Fig-4 authority shares.
+			if math.Abs(hs.Authority[1]-17.0/78) > 1e-9 {
+				b.Fatalf("PLE authority share %g, want 17/78", hs.Authority[1])
+			}
+		}
+	}
+}
+
+// BenchmarkFigMarket regenerates the extension figure comparing Shapley
+// with the combinatorial-auction baseline (Sec. 5).
+func BenchmarkFigMarket(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := figures.FigMarket()
+		if i == 0 && len(f.Series) != 6 {
+			b.Fatalf("fig-market has %d series", len(f.Series))
+		}
+	}
+}
+
+// BenchmarkLossNetworkShapley prices facilities by simulated loss-network
+// value rates (the paper's Paschalidis–Liu future-work direction): one
+// simulation per coalition, Shapley on top.
+func BenchmarkLossNetworkShapley(b *testing.B) {
+	cfg := loss.Config{
+		Stations: []loss.Station{
+			{Label: "a", Count: 2, Capacity: 1},
+			{Label: "b", Count: 2, Capacity: 1},
+			{Label: "c", Count: 6, Capacity: 1},
+		},
+		Arrivals: []economics.ArrivalSpec{{
+			Type: economics.ExperimentType{
+				Name: "e", MinLocations: 2, MaxLocations: 2,
+				Resources: 1, HoldingTime: 0.5, Shape: 1,
+			},
+			Rate: 8,
+		}},
+		Horizon: 200,
+		Seed:    41,
+	}
+	for i := 0; i < b.N; i++ {
+		g, err := loss.NewGame(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phi := coalition.Shapley(coalition.NewCache(g))
+		if i == 0 {
+			if err := coalition.CheckEfficiency(coalition.NewCache(g), phi, 1e-9); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command fedctl is the client for fedd registries.
+//
+// Usage:
+//
+//	fedctl -addr 127.0.0.1:7001 ping
+//	fedctl -addr 127.0.0.1:7001 resources
+//	fedctl -addr 127.0.0.1:7001 -secret fed-secret slice create myexp -min-sites 15
+//	fedctl -addr 127.0.0.1:7001 -secret fed-secret slice delete myexp
+//	fedctl -addr 127.0.0.1:7001 shares -policy shapley
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"fedshare/internal/rspec"
+	"fedshare/internal/sfa"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "registry address")
+	secret := flag.String("secret", "", "federation secret (for slice operations)")
+	user := flag.String("user", "fedctl", "credential subject")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	client, err := sfa.Dial(*addr, 10*time.Second)
+	if err != nil {
+		fail(err)
+	}
+	defer client.Close()
+
+	cred := func() sfa.Credential {
+		if *secret == "" {
+			fmt.Fprintln(os.Stderr, "fedctl: -secret required for this operation")
+			os.Exit(2)
+		}
+		return sfa.IssueCredential([]byte(*secret), *user, *user, time.Minute)
+	}
+
+	switch args[0] {
+	case "ping":
+		if err := client.Call(sfa.MethodPing, nil, nil); err != nil {
+			fail(err)
+		}
+		fmt.Println("pong")
+	case "record":
+		var rec sfa.AuthorityRecord
+		if err := client.Call(sfa.MethodGetRecord, nil, &rec); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s at %s: %d sites\n", rec.Name, rec.Addr, rec.Sites)
+	case "resources":
+		fs := flag.NewFlagSet("resources", flag.ExitOnError)
+		asXML := fs.Bool("xml", false, "emit a GENI-style advertisement RSpec")
+		_ = fs.Parse(args[1:])
+		var rl sfa.ResourceList
+		if err := client.Call(sfa.MethodListResources, sfa.Empty{}, &rl); err != nil {
+			fail(err)
+		}
+		if *asXML {
+			if err := rspec.FromResourceList(rl).Encode(os.Stdout); err != nil {
+				fail(err)
+			}
+			return
+		}
+		fmt.Printf("authority %s: %d sites\n", rl.Authority, len(rl.Sites))
+		for _, s := range rl.Sites {
+			fmt.Printf("  %-24s nodes=%d capacity=%d free=%d\n", s.SiteID, s.Nodes, s.Capacity, s.Free)
+		}
+	case "slice":
+		if len(args) < 3 {
+			usage()
+		}
+		switch args[1] {
+		case "create":
+			fs := flag.NewFlagSet("slice create", flag.ExitOnError)
+			minSites := fs.Int("min-sites", 1, "diversity threshold")
+			maxSites := fs.Int("max-sites", 0, "site cap (0 = unbounded)")
+			per := fs.Int("per-site", 1, "slivers per site")
+			_ = fs.Parse(args[3:])
+			var resp sfa.SliceResponse
+			if err := client.Call(sfa.MethodCreateSlice, sfa.SliceRequest{
+				Credential: cred(), Name: args[2], Owner: *user,
+				MinSites: *minSites, MaxSites: *maxSites, SliversPerSite: *per,
+			}, &resp); err != nil {
+				fail(err)
+			}
+			fmt.Printf("slice %s: %d sites, %d slivers\n", resp.Name, resp.Sites, len(resp.Slivers))
+		case "delete":
+			if err := client.Call(sfa.MethodDeleteSlice, sfa.DeleteRequest{
+				Credential: cred(), Name: args[2],
+			}, nil); err != nil {
+				fail(err)
+			}
+			fmt.Printf("slice %s deleted\n", args[2])
+		default:
+			usage()
+		}
+	case "shares":
+		fs := flag.NewFlagSet("shares", flag.ExitOnError)
+		policy := fs.String("policy", "shapley", "sharing policy")
+		_ = fs.Parse(args[1:])
+		var resp sfa.SharesResponse
+		if err := client.Call(sfa.MethodGetShares, sfa.SharesRequest{Policy: *policy}, &resp); err != nil {
+			fail(err)
+		}
+		fmt.Printf("policy %s, federation value %.4g\n", resp.Policy, resp.GrandValue)
+		names := make([]string, 0, len(resp.Shares))
+		for n := range resp.Shares {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-12s %6.2f%%\n", n, resp.Shares[n]*100)
+		}
+	case "usage":
+		var resp sfa.UsageResponse
+		if err := client.Call(sfa.MethodGetUsage, sfa.Empty{}, &resp); err != nil {
+			fail(err)
+		}
+		fmt.Printf("authority %s: %d slices embedded\n", resp.Authority, resp.SlicesEmbedded)
+		names := make([]string, 0, len(resp.CumulativeSlivers))
+		for n := range resp.CumulativeSlivers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-12s %6d slivers  measured share %6.2f%%\n",
+				n, resp.CumulativeSlivers[n], resp.MeasuredShares[n]*100)
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fedctl [-addr A] [-secret S] <command>
+commands:
+  ping
+  record
+  resources [-xml]
+  slice create <name> [-min-sites N] [-max-sites N] [-per-site N]
+  slice delete <name>
+  shares [-policy shapley|proportional|consumption|equal|nucleolus|banzhaf]
+  usage`)
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "fedctl:", err)
+	os.Exit(1)
+}

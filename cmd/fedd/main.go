@@ -1,0 +1,80 @@
+// Command fedd runs one federation authority's SFA registry daemon.
+//
+// Usage:
+//
+//	fedd -name PLE -listen 127.0.0.1:7002 -sites 40 -nodes 2 -capacity 10 \
+//	     -secret fed-secret -peer 127.0.0.1:7001
+//
+// The daemon serves the SFA wire protocol: resource advertisement, peering,
+// federated slice embedding, and value-share computation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"fedshare/internal/planetlab"
+	"fedshare/internal/sfa"
+)
+
+func main() {
+	name := flag.String("name", "PLC", "authority name")
+	listen := flag.String("listen", "127.0.0.1:7001", "listen address")
+	sites := flag.Int("sites", 10, "number of sites this authority contributes")
+	nodes := flag.Int("nodes", 2, "nodes per site")
+	capacity := flag.Int("capacity", 10, "sliver capacity per node")
+	secret := flag.String("secret", "", "shared federation secret (required)")
+	peer := flag.String("peer", "", "optional peer registry address to federate with at startup")
+	flag.Parse()
+
+	if *secret == "" {
+		fmt.Fprintln(os.Stderr, "fedd: -secret is required")
+		os.Exit(2)
+	}
+	if *sites < 0 || *nodes <= 0 || *capacity <= 0 {
+		fmt.Fprintln(os.Stderr, "fedd: sites must be >= 0, nodes and capacity positive")
+		os.Exit(2)
+	}
+
+	auth := planetlab.NewAuthority(*name)
+	for s := 0; s < *sites; s++ {
+		site := &planetlab.Site{
+			ID:   fmt.Sprintf("%s-site%03d", *name, s),
+			Name: fmt.Sprintf("%s site %d", *name, s),
+		}
+		for n := 0; n < *nodes; n++ {
+			site.Nodes = append(site.Nodes, planetlab.Node{
+				ID:       fmt.Sprintf("node%d", n),
+				HostName: fmt.Sprintf("node%d.site%03d.%s.example.net", n, s, *name),
+				Capacity: *capacity,
+			})
+		}
+		if err := auth.AddSite(site); err != nil {
+			log.Fatalf("fedd: %v", err)
+		}
+	}
+
+	srv := sfa.NewServer(auth, []byte(*secret))
+	if err := srv.Start(*listen); err != nil {
+		log.Fatalf("fedd: %v", err)
+	}
+	log.Printf("fedd: %s serving %d sites on %s", *name, *sites, srv.Addr())
+
+	if *peer != "" {
+		if err := srv.PeerWith(*peer); err != nil {
+			log.Fatalf("fedd: peering with %s: %v", *peer, err)
+		}
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	<-sigc
+	log.Printf("fedd: %s shutting down", *name)
+	if err := srv.Close(); err != nil {
+		log.Printf("fedd: close: %v", err)
+	}
+}

@@ -1,0 +1,133 @@
+// Command fedsim regenerates the paper's figures as data tables and ASCII
+// charts, and renders the schematic diagrams (Figs 1 and 3).
+//
+// Usage:
+//
+//	fedsim -fig fig4          # one figure
+//	fedsim -all               # every figure
+//	fedsim -fig fig4 -chart   # with an ASCII chart
+//	fedsim -diagram           # the federation-model and game diagrams
+//	fedsim -weights           # offline Shapley weight table (Sec. 3.2.3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedshare/internal/asciichart"
+	"fedshare/internal/core"
+	"fedshare/internal/figures"
+	"fedshare/internal/policy"
+)
+
+func main() {
+	figID := flag.String("fig", "", "figure to regenerate (fig2, fig4, fig4-strict, fig5, fig6, fig7, fig8, fig9, fig-market)")
+	all := flag.Bool("all", false, "regenerate every figure (paper + extensions)")
+	chart := flag.Bool("chart", false, "also render an ASCII chart")
+	diagram := flag.Bool("diagram", false, "print the schematic diagrams (paper Figs 1 and 3)")
+	weights := flag.Bool("weights", false, "print the offline Shapley weight table (Sec. 3.2.3 workflow)")
+	width := flag.Int("width", 72, "chart width")
+	height := flag.Int("height", 20, "chart height")
+	flag.Parse()
+
+	switch {
+	case *diagram:
+		printDiagrams()
+	case *weights:
+		printWeightTable()
+	case *all:
+		for _, f := range figures.All() {
+			printFigure(f, *chart, *width, *height)
+		}
+		for _, f := range figures.Extensions() {
+			printFigure(f, *chart, *width, *height)
+		}
+	case *figID != "":
+		f, err := figures.ByID(*figID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		printFigure(f, *chart, *width, *height)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printFigure(f *figures.Figure, chart bool, w, h int) {
+	fmt.Printf("== %s: %s ==\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Printf("   %s\n", f.Notes)
+	}
+	fmt.Println(f.Table())
+	if chart {
+		fmt.Println(asciichart.Render(f.Series, asciichart.Options{Width: w, Height: h}))
+	}
+}
+
+// printWeightTable demonstrates the paper's Sec. 3.2.3 practical workflow:
+// φ̂ computed off-line over a scenario grid, ready to be used as generic
+// policy weights.
+func printWeightTable() {
+	facilities := []core.Facility{
+		{Name: "PLC", Locations: 100, Resources: 80},
+		{Name: "PLE", Locations: 400, Resources: 60},
+		{Name: "PLJ", Locations: 800, Resources: 20},
+	}
+	thresholds := []float64{0, 250, 500, 750, 1000, 1250}
+	volumes := []int{1, 20, 100}
+	tbl, err := policy.BuildWeightTable(facilities, thresholds, volumes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("offline Shapley weight table (PLC/PLE/PLJ: L = 100/400/800, R = 80/60/20):")
+	fmt.Printf("%10s %8s", "l", "K")
+	for _, f := range tbl.Facilities {
+		fmt.Printf(" %9s", f)
+	}
+	fmt.Println()
+	for _, r := range tbl.Rows {
+		fmt.Printf("%10.0f %8d", r.Threshold, r.Volume)
+		for _, s := range r.Shares {
+			fmt.Printf(" %8.2f%%", s*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("Operators look up (or Blend) these rows by expected demand instead of")
+	fmt.Println("running the coalition game online (Sec. 3.2.3).")
+}
+
+func printDiagrams() {
+	fmt.Print(`== Figure 1: federation model ==
+
+  facility 1 (L1 locations, R1 each)   facility 2 (L2, R2)   facility 3 (L3, R3)
+        \                                  |                      /
+         \                                 |                     /
+          +----------------- federated location pool ---------------+
+          | location l: capacity = sum of R_i over facilities at l  |
+          | diversity  = number of distinct locations in the pool   |
+          +----------------------------------------------------------+
+                      |                             |
+            external customers E            affiliated users U_i
+            (commercial scenario)           (P2P scenario)
+
+== Figure 3: the federation game ==
+
+  individual contributions (L_i, R_i)        policy input
+        |                                         |
+        v                                         v
+  [resource allocation / profit maximization]  --->  federation value V(N)
+        |                                         |
+        v                                         v
+  [profit & value sharing: Shapley | nucleolus | proportional | priorities]
+        |
+        v
+  individual shares s_i  --->  local provision decisions (value vs cost)
+        |                                         |
+        +------------------- feedback loop -------+
+`)
+}

@@ -1,0 +1,158 @@
+// Integration tests for the command-line tools: build the real binaries and
+// drive a two-authority federation end to end over loopback TCP.
+package fedshare_test
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the three binaries once into a temp dir.
+func buildTools(t *testing.T) (fedd, fedctl, fedsim string) {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"fedd", "fedctl", "fedsim"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return filepath.Join(dir, "fedd"), filepath.Join(dir, "fedctl"), filepath.Join(dir, "fedsim")
+}
+
+// freePort reserves an ephemeral TCP port and returns the address.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+func waitReachable(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never came up", addr)
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIFederationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skip in -short mode")
+	}
+	fedd, fedctl, _ := buildTools(t)
+	addrA, addrB := freePort(t), freePort(t)
+
+	// Two daemons: PLC (4 sites), PLE (8 sites) peering with PLC.
+	dA := exec.Command(fedd, "-name", "PLC", "-listen", addrA,
+		"-sites", "4", "-nodes", "1", "-capacity", "2", "-secret", "it")
+	if err := dA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dA.Process.Kill(); _, _ = dA.Process.Wait() }()
+	waitReachable(t, addrA)
+
+	dB := exec.Command(fedd, "-name", "PLE", "-listen", addrB,
+		"-sites", "8", "-nodes", "1", "-capacity", "2", "-secret", "it",
+		"-peer", addrA)
+	if err := dB.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dB.Process.Kill(); _, _ = dB.Process.Wait() }()
+	waitReachable(t, addrB)
+	// Give the peering handshake a moment to complete on both sides.
+	time.Sleep(300 * time.Millisecond)
+
+	// fedctl ping / record / resources.
+	if out := run(t, fedctl, "-addr", addrA, "ping"); !strings.Contains(out, "pong") {
+		t.Errorf("ping: %q", out)
+	}
+	if out := run(t, fedctl, "-addr", addrA, "record"); !strings.Contains(out, "PLC") {
+		t.Errorf("record: %q", out)
+	}
+	out := run(t, fedctl, "-addr", addrA, "resources")
+	if !strings.Contains(out, "4 sites") {
+		t.Errorf("resources: %q", out)
+	}
+	// XML RSpec export.
+	out = run(t, fedctl, "-addr", addrA, "resources", "-xml")
+	if !strings.Contains(out, `<rspec type="advertisement" authority="PLC">`) {
+		t.Errorf("rspec: %q", out)
+	}
+
+	// Federated slice: 10 sites needs both authorities (4 + 8).
+	out = run(t, fedctl, "-addr", addrA, "-secret", "it",
+		"slice", "create", "global", "-min-sites", "10")
+	if !strings.Contains(out, "slice global:") {
+		t.Errorf("slice create: %q", out)
+	}
+
+	// Usage accounting reflects both contributors.
+	out = run(t, fedctl, "-addr", addrA, "usage")
+	if !strings.Contains(out, "PLC") || !strings.Contains(out, "PLE") {
+		t.Errorf("usage: %q", out)
+	}
+
+	// Shares over the wire.
+	out = run(t, fedctl, "-addr", addrB, "shares", "-policy", "shapley")
+	if !strings.Contains(out, "PLC") || !strings.Contains(out, "PLE") || !strings.Contains(out, "%") {
+		t.Errorf("shares: %q", out)
+	}
+
+	// Cleanup via the protocol.
+	out = run(t, fedctl, "-addr", addrA, "-secret", "it", "slice", "delete", "global")
+	if !strings.Contains(out, "deleted") {
+		t.Errorf("slice delete: %q", out)
+	}
+}
+
+func TestCLIFedsim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skip in -short mode")
+	}
+	_, _, fedsim := buildTools(t)
+	out := run(t, fedsim, "-fig", "fig2")
+	if !strings.Contains(out, "fig2") || !strings.Contains(out, "d=1.0") {
+		t.Errorf("fig2 output: %q", out)
+	}
+	out = run(t, fedsim, "-diagram")
+	if !strings.Contains(out, "federation model") {
+		t.Errorf("diagram output: %q", out)
+	}
+	out = run(t, fedsim, "-fig", "fig4", "-chart")
+	if !strings.Contains(out, "legend:") {
+		t.Errorf("chart output missing legend")
+	}
+	// Unknown figure exits non-zero.
+	cmd := exec.Command(fedsim, "-fig", "nope")
+	if err := cmd.Run(); err == nil {
+		t.Error("unknown figure should exit non-zero")
+	}
+}

@@ -1,0 +1,13 @@
+// Package fedshare reproduces "Federation of virtualized infrastructures:
+// sharing the value of diversity" (Antoniadis, Fdida, Friedman, Misra —
+// ACM CoNEXT 2010): an economic model of federated testbeds in which the
+// value of a coalition of facilities is the utility its pooled, location-
+// diverse resources can serve, and the Shapley value is used to split that
+// value fairly among contributors.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map), with executables in cmd/ (fedsim regenerates the paper's figures;
+// fedd/fedctl run an SFA-style federation over TCP) and runnable examples
+// under examples/. The top-level bench harness (bench_test.go) regenerates
+// every figure of the paper's evaluation.
+package fedshare

@@ -1,0 +1,82 @@
+// Commercial scenario: external customers (a CDN operator, P2P researchers,
+// a measurement company — the paper's three archetypes) pay for access to
+// the federated infrastructure; the authorities must split the subscription
+// profit. We show how the demand mixture changes who deserves what.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedshare/internal/core"
+	"fedshare/internal/economics"
+)
+
+func model(demand *economics.Workload) *core.Model {
+	m, err := core.NewModel([]core.Facility{
+		{Name: "PLC", Locations: 100, Resources: 80},
+		{Name: "PLE", Locations: 400, Resources: 50},
+		{Name: "PLJ", Locations: 800, Resources: 30},
+	}, demand)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func printShares(label string, m *core.Model) {
+	fmt.Printf("%s (V = %.0f)\n", label, m.GrandValue())
+	for _, p := range []core.Policy{
+		core.ShapleyPolicy{}, core.ProportionalPolicy{}, core.ConsumptionPolicy{},
+	} {
+		shares, err := p.Shares(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-13s", p.Name())
+		for i, f := range m.Facilities {
+			fmt.Printf("  %s=%5.1f%%", f.Name, shares[i]*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("Commercial federation: how should subscription profit be split?")
+	fmt.Println()
+
+	// Workload 1: capacity-hungry P2P experiments only (l = 40 is easy).
+	p2pOnly, err := economics.NewWorkload(
+		economics.DemandClass{Type: economics.P2PExperiment, Count: 60},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printShares("P2P-experiment demand (low diversity pressure)", model(p2pOnly))
+
+	// Workload 2: measurement studies needing 500 distinct locations.
+	measurement, err := economics.NewWorkload(
+		economics.DemandClass{Type: economics.MeasurementExperiment, Count: 20},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printShares("Measurement demand (l = 500: only big location sets count)", model(measurement))
+
+	// Workload 3: the realistic mixture, including the CDN service with its
+	// heavier per-location footprint (r = 4) and bounded spread.
+	mixture, err := economics.NewWorkload(
+		economics.DemandClass{Type: economics.P2PExperiment, Count: 30},
+		economics.DemandClass{Type: economics.CDNService, Count: 5},
+		economics.DemandClass{Type: economics.MeasurementExperiment, Count: 10},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printShares("Mixed demand (P2P + CDN + measurement)", model(mixture))
+
+	fmt.Println("Observation: under diversity-hungry demand the Shapley share of the")
+	fmt.Println("location-rich authority rises well above its resource-proportional")
+	fmt.Println("share — exactly the distortion the paper quantifies (Sec. 4.3).")
+}

@@ -1,0 +1,68 @@
+// Multiplexing example (Sec. 3.2.1): holding time drives how much extra
+// value federation creates through statistical multiplexing. We simulate a
+// two-facility loss network under fixed offered load and sweep the holding
+// time, and validate the simulator against Erlang-B on a single station.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fedshare/internal/economics"
+	"fedshare/internal/loss"
+)
+
+func main() {
+	// Validation first: M/D/5/5 blocking vs Erlang-B at 4 erlangs.
+	lambda, hold := 8.0, 0.5
+	m, err := loss.Simulate(loss.Config{
+		Stations: []loss.Station{{Label: "s", Count: 5, Capacity: 1}},
+		Arrivals: []economics.ArrivalSpec{{
+			Type: economics.ExperimentType{
+				Name: "unit", MinLocations: 1, MaxLocations: 1,
+				Resources: 1, HoldingTime: hold, Shape: 1,
+			},
+			Rate: lambda,
+		}},
+		Horizon: 4000,
+		Seed:    11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	theory := loss.ErlangB(5, lambda*hold)
+	fmt.Printf("Erlang-B validation: simulated blocking %.4f vs theory %.4f (|Δ| = %.4f)\n\n",
+		m.Blocking["unit"], theory, math.Abs(m.Blocking["unit"]-theory))
+
+	// The sweep: two facilities of 4 locations each; experiments need 3
+	// distinct locations; offered load constant across the sweep.
+	base := loss.Config{
+		Stations: []loss.Station{
+			{Label: "west", Count: 4, Capacity: 1},
+			{Label: "east", Count: 4, Capacity: 1},
+		},
+		Arrivals: []economics.ArrivalSpec{{
+			Type: economics.ExperimentType{
+				Name: "exp", MinLocations: 3, MaxLocations: 3,
+				Resources: 1, HoldingTime: 1, Shape: 1,
+			},
+			Rate: 2,
+		}},
+		Horizon: 4000,
+		Seed:    23,
+	}
+	series, err := loss.HoldingTimeSweep(base, []float64{1, 0.5, 0.2, 0.1, 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("relative federation gain vs holding time (offered load fixed):")
+	fmt.Printf("%12s %24s\n", "holding t", "gain (fed - isolated)/offered")
+	for _, p := range series.Points {
+		fmt.Printf("%12.2f %24.4f\n", p.X, p.Y)
+	}
+	fmt.Println()
+	fmt.Println("Shorter holding times let the pooled 8-location system absorb bursts")
+	fmt.Println("that would block a 4-location facility — the statistical-multiplexing")
+	fmt.Println("mechanism behind the paper's super-additivity condition (Sec. 3.2.1).")
+}

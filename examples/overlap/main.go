@@ -1,0 +1,65 @@
+// Overlap example (the paper's Fig 1 setting): facilities whose location
+// sets overlap contribute less diversity than their raw location counts
+// suggest. We sample the Sec. 2.1 overlap model o_ij and show how shrinking
+// the location universe (more overlap) redistributes the Shapley shares.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fedshare/internal/core"
+	"fedshare/internal/economics"
+	"fedshare/internal/stats"
+)
+
+func main() {
+	// Three facilities with 30 locations each (Fig 1 uses N = 3 over 30
+	// distinct locations), one experiment needing 40 distinct locations.
+	demand, err := economics.NewWorkload(economics.DemandClass{
+		Type: economics.ExperimentType{
+			Name: "overlay", MinLocations: 40, MaxLocations: math.Inf(1),
+			Resources: 1, HoldingTime: 1, Shape: 1,
+		},
+		Count: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Shapley shares as the location universe shrinks (more overlap):")
+	fmt.Printf("%10s %10s %12s %8s %8s %8s\n", "universe", "overlap", "V(N)", "F1", "F2", "F3")
+	for _, universe := range []int{10000, 120, 90, 60, 45} {
+		m, err := core.NewModel([]core.Facility{
+			{Name: "F1", Locations: 30, Resources: 1},
+			{Name: "F2", Locations: 30, Resources: 1},
+			{Name: "F3", Locations: 30, Resources: 1},
+		}, demand)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := m.WithOverlap(universe, stats.NewRand(42)); err != nil {
+			log.Fatal(err)
+		}
+		shares, err := core.ShapleyPolicy{}.Shares(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Expected pairwise overlap probability for one location:
+		// 30/universe.
+		fmt.Printf("%10d %9.0f%% %12.0f %7.1f%% %7.1f%% %7.1f%%\n",
+			universe, 100*30.0/float64(universe), m.GrandValue(),
+			shares[0]*100, shares[1]*100, shares[2]*100)
+	}
+
+	fmt.Println()
+	fmt.Println("With a huge universe the three facilities are perfectly symmetric and")
+	fmt.Println("the 90 distinct locations clear the 40-location threshold easily. As")
+	fmt.Println("overlap grows, the federation's total diversity V(N) collapses from 90")
+	fmt.Println("toward the universe size, and the shares drift apart: the facility")
+	fmt.Println("whose sampled locations happen to be rarest becomes (slightly) more")
+	fmt.Println("pivotal, even though all three contribute 30 nominal locations. The")
+	fmt.Println("headline effect of overlap is on the value itself — duplicated")
+	fmt.Println("locations add capacity but no diversity (Sec. 2.1).")
+}

@@ -1,0 +1,82 @@
+// P2P scenario: no money changes hands — the federation's value is the
+// utility of the facilities' own users, and the allocation itself must be
+// incentive-compatible (problem (3) of the paper): every facility's users
+// must do at least as well as they would on their facility alone.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedshare/internal/allocation"
+)
+
+func main() {
+	// Three facilities with very different supply/demand balances:
+	//   - "BigLab" has many locations and modest demand;
+	//   - "Crowded" has huge demand and little supply;
+	//   - "Tiny" cannot host its users' diversity needs alone.
+	facilities := []allocation.FacilityContribution{
+		{
+			Name:    "BigLab",
+			Classes: []allocation.Class{{Label: "BigLab", Count: 30, Capacity: 4}},
+			Requests: []allocation.Request{
+				{Min: 5, Shape: 1, Resources: 1, Label: "biglab-exp1"},
+				{Min: 5, Shape: 1, Resources: 1, Label: "biglab-exp2"},
+			},
+		},
+		{
+			Name:    "Crowded",
+			Classes: []allocation.Class{{Label: "Crowded", Count: 8, Capacity: 2}},
+			Requests: []allocation.Request{
+				{Min: 4, Shape: 1, Resources: 1, Label: "crowded-exp1"},
+				{Min: 4, Shape: 1, Resources: 1, Label: "crowded-exp2"},
+				{Min: 4, Shape: 1, Resources: 1, Label: "crowded-exp3"},
+				{Min: 4, Shape: 1, Resources: 1, Label: "crowded-exp4"},
+				{Min: 10, Shape: 1, Resources: 1, Label: "crowded-exp5"},
+			},
+		},
+		{
+			Name:    "Tiny",
+			Classes: []allocation.Class{{Label: "Tiny", Count: 2, Capacity: 2}},
+			Requests: []allocation.Request{
+				{Min: 12, Shape: 1, Resources: 1, Label: "tiny-needs-diversity"},
+			},
+		},
+	}
+
+	res, err := allocation.SolveP2P(facilities)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("P2P federation: user utility, standalone vs federated")
+	fmt.Println()
+	totalStandalone, totalFederated := 0.0, 0.0
+	for i, f := range facilities {
+		gain := res.Federated[i] - res.Standalone[i]
+		fmt.Printf("  %-8s standalone %7.1f   federated %7.1f   gain %+6.1f   share %5.1f%%\n",
+			f.Name, res.Standalone[i], res.Federated[i], gain, res.Shares[i]*100)
+		totalStandalone += res.Standalone[i]
+		totalFederated += res.Federated[i]
+	}
+	fmt.Printf("\n  federation surplus: %.1f -> %.1f (%.0f%% gain)\n",
+		totalStandalone, totalFederated,
+		100*(totalFederated-totalStandalone)/totalStandalone)
+
+	fmt.Println("\nper-experiment placement (locations assigned):")
+	for i, f := range facilities {
+		for j, r := range f.Requests {
+			status := "served"
+			if res.X[i][j] == 0 {
+				status = "rejected"
+			}
+			fmt.Printf("  %-22s min=%2d  got=%2d  (%s)\n", r.Label, r.Min, res.X[i][j], status)
+		}
+	}
+
+	fmt.Println("\nEvery facility's users do at least as well as standalone — the")
+	fmt.Println("individual-rationality constraint of the paper's problem (3) holds by")
+	fmt.Println("construction, and Tiny's diversity-hungry experiment only runs because")
+	fmt.Println("the federation pools 40 distinct locations.")
+}

@@ -1,0 +1,3 @@
+module fedshare
+
+go 1.22

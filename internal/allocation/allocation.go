@@ -1,0 +1,545 @@
+// Package allocation solves the resource-allocation problems of Sec. 3.1 of
+// the paper: assign experiments to distinct locations so as to maximize
+// total utility (the commercial problem (2)), optionally under the
+// individual-rationality constraints of the P2P problem (3).
+//
+// The model: a pool of locations, each with a resource capacity; a list of
+// experiment requests, each needing between Min and Max *distinct* locations,
+// consuming Resources units at every assigned location, and yielding utility
+// x^Shape when assigned x >= Min locations (0 otherwise, i.e. rejected).
+//
+// Two engines are provided:
+//
+//   - a fast exact path for the paper's figure workloads (uniform resources,
+//     linear utility d = 1, unbounded Max), built on the transversal-
+//     polymatroid structure of bipartite degree sequences (Gale–Ryser);
+//   - a constructive greedy simulator for the general case (heterogeneous
+//     resources, bounded Max, nonlinear shapes), which also yields the
+//     per-class consumption needed by the consumption-proportional share ρ̂.
+//
+// Solve picks the fast path automatically when it applies; the two engines
+// agree on their common domain (checked in tests against a brute-force
+// oracle).
+package allocation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Class is a group of interchangeable locations with a common per-location
+// resource capacity. In the paper's model a facility i contributes Count =
+// L_i locations of capacity R_i each.
+type Class struct {
+	Label    string
+	Count    int
+	Capacity float64
+}
+
+// Pool is the federated supply: the union of every participating facility's
+// location classes.
+type Pool struct {
+	Classes []Class
+}
+
+// TotalLocations returns the number of distinct locations in the pool.
+func (p Pool) TotalLocations() int {
+	n := 0
+	for _, c := range p.Classes {
+		n += c.Count
+	}
+	return n
+}
+
+// TotalCapacity returns the total resource units across all locations.
+func (p Pool) TotalCapacity() float64 {
+	t := 0.0
+	for _, c := range p.Classes {
+		t += float64(c.Count) * c.Capacity
+	}
+	return t
+}
+
+// Validate checks the pool for modelling errors.
+func (p Pool) Validate() error {
+	for i, c := range p.Classes {
+		if c.Count < 0 {
+			return fmt.Errorf("allocation: class %d (%s) has negative count", i, c.Label)
+		}
+		if c.Capacity < 0 {
+			return fmt.Errorf("allocation: class %d (%s) has negative capacity", i, c.Label)
+		}
+	}
+	return nil
+}
+
+// Request is one experiment's demand.
+type Request struct {
+	Min       int     // minimum distinct locations (diversity threshold l)
+	Max       int     // maximum distinct locations; <= 0 means unbounded
+	Shape     float64 // utility exponent d
+	Resources float64 // units consumed at each assigned location (r)
+	Label     string
+}
+
+// Utility returns the request's utility for x assigned locations.
+func (r Request) Utility(x int) float64 {
+	if x <= 0 || x < r.Min {
+		return 0
+	}
+	return math.Pow(float64(x), r.Shape)
+}
+
+func (r Request) maxLocations(pool int) int {
+	if r.Max <= 0 || r.Max > pool {
+		return pool
+	}
+	return r.Max
+}
+
+// Result is an allocation outcome.
+type Result struct {
+	// X[j] is the number of distinct locations assigned to request j
+	// (0 = rejected).
+	X []int
+	// Utility is the total utility of the allocation.
+	Utility float64
+	// ConsumedByClass[c] is the resource units consumed at class c's
+	// locations — the basis of the ρ̂ consumption share.
+	ConsumedByClass []float64
+	// SlotsByClass[c] is the number of (experiment, location) assignments
+	// landing in class c.
+	SlotsByClass []int
+}
+
+// Solve maximizes total utility for the given pool and requests
+// (problem (2) of the paper). It panics on invalid inputs to surface
+// modelling errors; validate pools and requests at construction time.
+func Solve(pool Pool, reqs []Request) *Result {
+	if err := pool.Validate(); err != nil {
+		panic(err)
+	}
+	for j, r := range reqs {
+		if r.Resources <= 0 {
+			panic(fmt.Sprintf("allocation: request %d has non-positive Resources", j))
+		}
+		if r.Shape <= 0 {
+			panic(fmt.Sprintf("allocation: request %d has non-positive Shape", j))
+		}
+		if r.Min < 0 {
+			panic(fmt.Sprintf("allocation: request %d has negative Min", j))
+		}
+	}
+	if fastApplies(pool, reqs) {
+		return solveFast(pool, reqs)
+	}
+	return solveGreedy(pool, reqs)
+}
+
+// fastApplies reports whether the polymatroid fast path is usable: uniform
+// resources, all shapes exactly 1, no binding Max.
+func fastApplies(pool Pool, reqs []Request) bool {
+	if len(reqs) == 0 {
+		return true
+	}
+	L := pool.TotalLocations()
+	r0 := reqs[0].Resources
+	for _, r := range reqs {
+		if r.Shape != 1 || r.Resources != r0 {
+			return false
+		}
+		if r.Max > 0 && r.Max < L {
+			return false
+		}
+	}
+	return true
+}
+
+// totalSlots returns Σ_c Count_c · min(n_c, m): the maximum number of
+// (experiment, location) pairs achievable with m experiments, where n_c is
+// the per-location experiment capacity of class c.
+func totalSlots(n []int, counts []int, m int) int {
+	t := 0
+	for c := range n {
+		k := n[c]
+		if k > m {
+			k = m
+		}
+		t += counts[c] * k
+	}
+	return t
+}
+
+// minimaFeasible checks the Gale–Ryser condition for a multiset of minimum
+// demands: sorted descending, every prefix sum must fit within the maximum
+// slot supply for that many experiments.
+func minimaFeasible(minsDesc []int, n, counts []int) bool {
+	prefix := 0
+	for k, l := range minsDesc {
+		prefix += l
+		if prefix > totalSlots(n, counts, k+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// solveFast is the exact d = 1 engine. With linear utility, total utility
+// equals total assigned slots; the transversal polymatroid of bipartite
+// degree sequences makes the maximum total slots for m admitted experiments
+// exactly totalSlots(m), achievable above any feasible vector of minima.
+// Admission therefore admits requests in ascending-Min order while the
+// minima stay feasible and the marginal slot supply remains positive.
+func solveFast(pool Pool, reqs []Request) *Result {
+	nc := len(pool.Classes)
+	res := &Result{
+		X:               make([]int, len(reqs)),
+		ConsumedByClass: make([]float64, nc),
+		SlotsByClass:    make([]int, nc),
+	}
+	if len(reqs) == 0 {
+		return res
+	}
+	r0 := reqs[0].Resources
+	n := make([]int, nc)
+	counts := make([]int, nc)
+	for c, cl := range pool.Classes {
+		n[c] = int(math.Floor(cl.Capacity / r0))
+		counts[c] = cl.Count
+	}
+	L := pool.TotalLocations()
+
+	// Admission order: ascending Min (cheapest feasibility footprint first).
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return reqs[order[a]].Min < reqs[order[b]].Min })
+
+	admitted := make([]int, 0, len(reqs))
+	minsDesc := make([]int, 0, len(reqs)) // maintained sorted descending
+	for _, j := range order {
+		if reqs[j].Min > L {
+			continue // can never meet its diversity threshold
+		}
+		m := len(admitted)
+		if totalSlots(n, counts, m+1) == totalSlots(n, counts, m) && reqs[j].Min == 0 {
+			// No new capacity and no obligation: admitting adds nothing.
+			continue
+		}
+		// Tentatively admit and check minima feasibility.
+		pos := sort.Search(len(minsDesc), func(i int) bool { return minsDesc[i] < reqs[j].Min })
+		minsDesc = append(minsDesc, 0)
+		copy(minsDesc[pos+1:], minsDesc[pos:])
+		minsDesc[pos] = reqs[j].Min
+		if !minimaFeasible(minsDesc, n, counts) {
+			// Roll back; later requests have equal or larger Min, but a
+			// *smaller* slot footprint is impossible, so only requests with
+			// the same Min could also fail — keep scanning (cheap).
+			copy(minsDesc[pos:], minsDesc[pos+1:])
+			minsDesc = minsDesc[:len(minsDesc)-1]
+			continue
+		}
+		admitted = append(admitted, j)
+	}
+
+	m := len(admitted)
+	if m == 0 {
+		return res
+	}
+	total := totalSlots(n, counts, m)
+
+	// Distribute total slots by water-filling: every experiment keeps at
+	// least its minimum, and surplus raises the lowest allocations toward a
+	// common level λ capped at L. Any distribution has equal utility at
+	// d = 1; balanced keeps X informative and matches the paper's
+	// short-term fair-share story.
+	xs := make([]int, m)
+	fill := func(lambda int) int {
+		sum := 0
+		for _, j := range admitted {
+			x := reqs[j].Min
+			if lambda > x {
+				x = lambda
+			}
+			if x > L {
+				x = L
+			}
+			sum += x
+		}
+		return sum
+	}
+	lo, hi := 0, L
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if fill(mid) <= total {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	remainder := total - fill(lo)
+	for i, j := range admitted {
+		x := reqs[j].Min
+		if lo > x {
+			x = lo
+		}
+		if x > L {
+			x = L
+		}
+		// Spend the sub-λ remainder one unit at a time on experiments
+		// sitting exactly at the water level.
+		if remainder > 0 && x == lo && x < L && reqs[j].Min <= lo {
+			x++
+			remainder--
+		}
+		xs[i] = x
+	}
+	for i, j := range admitted {
+		res.X[j] = xs[i]
+		res.Utility += float64(xs[i])
+	}
+
+	// Per-class consumption of the maximal balanced assignment: class c
+	// locations each host min(n_c, m) experiments; if not all slots were
+	// handed out (demand-limited), scale proportionally.
+	slotsAvail := 0
+	for c := range n {
+		k := n[c]
+		if k > m {
+			k = m
+		}
+		slotsAvail += counts[c] * k
+	}
+	assigned := 0
+	for _, x := range xs {
+		assigned += x
+	}
+	for c := range n {
+		k := n[c]
+		if k > m {
+			k = m
+		}
+		classSlots := counts[c] * k
+		if slotsAvail > 0 && assigned < slotsAvail {
+			// Spread shortfall evenly: experiments visit all locations
+			// uniformly until class capacity binds.
+			classSlots = int(math.Round(float64(classSlots) * float64(assigned) / float64(slotsAvail)))
+		}
+		res.SlotsByClass[c] = classSlots
+		res.ConsumedByClass[c] = float64(classSlots) * r0
+	}
+	rebalanceSlots(res, assigned)
+	return res
+}
+
+// rebalanceSlots fixes rounding so Σ SlotsByClass == assigned exactly.
+func rebalanceSlots(res *Result, assigned int) {
+	sum := 0
+	for _, s := range res.SlotsByClass {
+		sum += s
+	}
+	diff := assigned - sum
+	for c := 0; diff != 0 && c < len(res.SlotsByClass); c++ {
+		step := 1
+		if diff < 0 {
+			step = -1
+		}
+		if res.SlotsByClass[c]+step >= 0 {
+			unit := res.ConsumedByClass[c]
+			if res.SlotsByClass[c] > 0 {
+				unit = res.ConsumedByClass[c] / float64(res.SlotsByClass[c])
+			}
+			res.SlotsByClass[c] += step
+			res.ConsumedByClass[c] += float64(step) * unit
+			diff -= step
+		}
+	}
+}
+
+// solveGreedy is the general constructive engine: admit requests (trying
+// both ascending- and descending-Min orders), give each admitted request its
+// minimum from the highest-capacity free locations, then hand out one
+// location at a time to the request with the best marginal utility. Exact
+// for concave shapes on its admission set; a high-quality heuristic for
+// convex shapes (validated against brute force on small instances).
+func solveGreedy(pool Pool, reqs []Request) *Result {
+	best := greedyWithOrder(pool, reqs, true)
+	alt := greedyWithOrder(pool, reqs, false)
+	if alt.Utility > best.Utility {
+		best = alt
+	}
+	return best
+}
+
+type location struct {
+	class int
+	rem   float64
+}
+
+func greedyWithOrder(pool Pool, reqs []Request, ascending bool) *Result {
+	nc := len(pool.Classes)
+	res := &Result{
+		X:               make([]int, len(reqs)),
+		ConsumedByClass: make([]float64, nc),
+		SlotsByClass:    make([]int, nc),
+	}
+	L := pool.TotalLocations()
+	if L == 0 || len(reqs) == 0 {
+		return res
+	}
+	locs := make([]location, 0, L)
+	for c, cl := range pool.Classes {
+		for i := 0; i < cl.Count; i++ {
+			locs = append(locs, location{class: c, rem: cl.Capacity})
+		}
+	}
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if ascending {
+			return reqs[order[a]].Min < reqs[order[b]].Min
+		}
+		return reqs[order[a]].Min > reqs[order[b]].Min
+	})
+
+	used := make([][]bool, len(reqs)) // used[j][loc]
+	usedCount := make([]int, L)       // how many requests use each location
+	x := make([]int, len(reqs))
+	admitted := make([]bool, len(reqs))
+
+	// Phase A: minima.
+	for _, j := range order {
+		r := reqs[j]
+		maxX := r.maxLocations(L)
+		if r.Min > maxX {
+			continue
+		}
+		take := pickLocations(locs, nil, usedCount, r.Resources, r.Min)
+		if len(take) < r.Min {
+			continue
+		}
+		admitted[j] = true
+		used[j] = make([]bool, L)
+		for _, li := range take {
+			locs[li].rem -= r.Resources
+			used[j][li] = true
+			usedCount[li]++
+		}
+		x[j] = len(take)
+	}
+
+	// Phase B: marginal top-up, one location at a time.
+	for {
+		bestJ, bestLoc := -1, -1
+		bestGain := 1e-12
+		for j := range reqs {
+			if !admitted[j] {
+				continue
+			}
+			r := reqs[j]
+			if x[j] >= r.maxLocations(L) {
+				continue
+			}
+			gain := r.Utility(x[j]+1) - r.Utility(x[j])
+			if gain <= bestGain {
+				continue
+			}
+			li := pickOne(locs, used[j], usedCount, r.Resources)
+			if li < 0 {
+				continue
+			}
+			bestJ, bestLoc, bestGain = j, li, gain
+		}
+		if bestJ < 0 {
+			break
+		}
+		locs[bestLoc].rem -= reqs[bestJ].Resources
+		used[bestJ][bestLoc] = true
+		usedCount[bestLoc]++
+		x[bestJ]++
+	}
+
+	for j := range reqs {
+		if !admitted[j] {
+			continue
+		}
+		res.X[j] = x[j]
+		res.Utility += reqs[j].Utility(x[j])
+		for li, u := range used[j] {
+			if u {
+				res.SlotsByClass[locs[li].class]++
+				res.ConsumedByClass[locs[li].class] += reqs[j].Resources
+			}
+		}
+	}
+	return res
+}
+
+// pickLocations returns up to want location indices with remaining capacity
+// >= need, not already marked in used. Preference order: locations already
+// used by the most other requests first (they cannot serve those requests
+// again, so consuming them harms nobody), then the highest remaining
+// capacity (water-filling keeps scarce low-capacity locations free for
+// longer). usedCount may be nil when no assignments exist yet.
+func pickLocations(locs []location, used []bool, usedCount []int, need float64, want int) []int {
+	type cand struct {
+		idx  int
+		rem  float64
+		uses int
+	}
+	cands := make([]cand, 0, len(locs))
+	for i, l := range locs {
+		if l.rem+1e-12 >= need && (used == nil || !used[i]) {
+			uses := 0
+			if usedCount != nil {
+				uses = usedCount[i]
+			}
+			cands = append(cands, cand{i, l.rem, uses})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].uses != cands[b].uses {
+			return cands[a].uses > cands[b].uses
+		}
+		if cands[a].rem != cands[b].rem {
+			return cands[a].rem > cands[b].rem
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	if len(cands) > want {
+		cands = cands[:want]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.idx
+	}
+	return out
+}
+
+// pickOne returns the best single location with rem >= need not yet used by
+// this request (same preference order as pickLocations), or -1.
+func pickOne(locs []location, used []bool, usedCount []int, need float64) int {
+	best := -1
+	bestUses := -1
+	for i, l := range locs {
+		if used != nil && used[i] {
+			continue
+		}
+		if l.rem+1e-12 < need {
+			continue
+		}
+		uses := 0
+		if usedCount != nil {
+			uses = usedCount[i]
+		}
+		if best < 0 || uses > bestUses || (uses == bestUses && l.rem > locs[best].rem) {
+			best = i
+			bestUses = uses
+		}
+	}
+	return best
+}

@@ -1,0 +1,86 @@
+// Package asciichart renders (x, y) series as terminal line charts so the
+// fedsim CLI can show the paper's figures without any graphics dependency.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"fedshare/internal/stats"
+)
+
+// Options controls rendering.
+type Options struct {
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+}
+
+// markers cycles per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$'}
+
+// Render draws the series onto a shared canvas with y axis labels and a
+// legend. Series may have different x grids; the canvas spans the union
+// range. Empty input returns an empty string.
+func Render(series []stats.Series, opts Options) string {
+	if len(series) == 0 {
+		return ""
+	}
+	w := opts.Width
+	if w <= 0 {
+		w = 72
+	}
+	h := opts.Height
+	if h <= 0 {
+		h = 20
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+			points++
+		}
+	}
+	if points == 0 {
+		return ""
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	canvas := make([][]byte, h)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((p.Y-ymin)/(ymax-ymin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				canvas[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	for r, line := range canvas {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&b, "%10.3g |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  %-*g%*g\n", "", w/2, xmin, w-w/2, xmax)
+	b.WriteString("  legend:")
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c=%s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+
+	"fedshare/internal/stats"
+)
+
+func TestRenderBasics(t *testing.T) {
+	a := stats.Series{Name: "up"}
+	b := stats.Series{Name: "down"}
+	for i := 0; i <= 10; i++ {
+		a.Add(float64(i), float64(i))
+		b.Add(float64(i), float64(10-i))
+	}
+	out := Render([]stats.Series{a, b}, Options{Width: 40, Height: 10})
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Errorf("legend missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 10 rows + axis + x labels + legend.
+	if len(lines) != 13 {
+		t.Errorf("got %d lines, want 13", len(lines))
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from canvas")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if Render(nil, Options{}) != "" {
+		t.Error("nil series should render empty")
+	}
+	empty := stats.Series{Name: "e"}
+	if Render([]stats.Series{empty}, Options{}) != "" {
+		t.Error("series without points should render empty")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := stats.Series{Name: "flat"}
+	s.Add(0, 5)
+	s.Add(1, 5)
+	out := Render([]stats.Series{s}, Options{Width: 20, Height: 5})
+	if out == "" {
+		t.Fatal("flat series should still render")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("flat series markers missing")
+	}
+}
+
+func TestDefaultDimensions(t *testing.T) {
+	s := stats.Series{Name: "x"}
+	s.Add(0, 0)
+	s.Add(1, 1)
+	out := Render([]stats.Series{s}, Options{})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 23 { // 20 rows + 3
+		t.Errorf("default height: got %d lines", len(lines))
+	}
+}

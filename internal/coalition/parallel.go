@@ -1,0 +1,99 @@
+package coalition
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fedshare/internal/combin"
+)
+
+// ParallelShapley computes the exact Shapley value with one worker per
+// player (bounded by GOMAXPROCS). The game must be safe for concurrent
+// Value calls; wrap expensive games with Snapshot first (a Cache is NOT
+// safe for concurrent use).
+func ParallelShapley(g Game, workers int) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	weight := make([]float64, n)
+	for s := 0; s < n; s++ {
+		// s!(n-s-1)!/n! == 1 / (n · C(n-1, s)).
+		weight[s] = 1 / (float64(n) * combin.Binomial(n-1, s))
+	}
+	phi := make([]float64, n)
+	full := combin.Full(n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sum := 0.0
+				rest := full.Without(i)
+				combin.Subsets(rest, func(s combin.Set) bool {
+					sum += weight[s.Card()] * (g.Value(s.With(i)) - g.Value(s))
+					return true
+				})
+				phi[i] = sum
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return phi
+}
+
+// Snapshot materializes every coalition value of g into an immutable Table,
+// which is safe for concurrent reads. Cost is 2^n evaluations; limited to
+// 24 players.
+func Snapshot(g Game) (*Table, error) {
+	n := g.N()
+	if n > 24 {
+		return nil, fmt.Errorf("coalition: Snapshot limited to 24 players, got %d", n)
+	}
+	values := make([]float64, 1<<uint(n))
+	combin.AllCoalitions(n, func(s combin.Set) bool {
+		values[s] = g.Value(s)
+		return true
+	})
+	return NewTable(n, values)
+}
+
+// tableJSON is the serialized form of a Table game.
+type tableJSON struct {
+	Players int       `json:"players"`
+	Values  []float64 `json:"values"`
+}
+
+// MarshalJSON implements json.Marshaler, so computed games can be archived
+// and shared among federation operators (the paper's off-line φ̂ workflow).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tableJSON{Players: t.Players, Values: t.Values})
+}
+
+// UnmarshalJSON implements json.Unmarshaler with full validation.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var raw tableJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	nt, err := NewTable(raw.Players, raw.Values)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}

@@ -1,0 +1,136 @@
+package coalition
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"fedshare/internal/combin"
+	"fedshare/internal/stats"
+)
+
+func TestParallelShapleyMatchesSequential(t *testing.T) {
+	rng := stats.NewRand(91)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		vals := make([]float64, 1<<uint(n))
+		for i := 1; i < len(vals); i++ {
+			vals[i] = rng.Float64() * 100
+		}
+		g, err := NewTable(n, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := Shapley(g)
+		for _, workers := range []int{0, 1, 2, 16} {
+			par := ParallelShapley(g, workers)
+			almostEqualVec(t, par, seq, 1e-9, "parallel vs sequential Shapley")
+		}
+	}
+}
+
+func TestParallelShapleyWeights(t *testing.T) {
+	// The multiplicative weight computation must agree with the factorial
+	// form used by Shapley — additive games expose any weight error.
+	w := []float64{2, 3, 5, 7, 11, 13}
+	g := additiveGame(w)
+	snap, err := Snapshot(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := ParallelShapley(snap, 4)
+	almostEqualVec(t, par, w, 1e-9, "additive parallel Shapley")
+}
+
+func TestSnapshot(t *testing.T) {
+	calls := 0
+	g := Func{Players: 4, V: func(s combin.Set) float64 {
+		calls++
+		return float64(s.Card() * 2)
+	}}
+	snap, err := Snapshot(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 16 {
+		t.Errorf("snapshot made %d calls, want 16", calls)
+	}
+	combin.AllCoalitions(4, func(s combin.Set) bool {
+		if snap.Value(s) != float64(s.Card()*2) {
+			t.Errorf("snapshot V(%v) = %g", s, snap.Value(s))
+		}
+		return true
+	})
+	big := Func{Players: 30, V: func(combin.Set) float64 { return 0 }}
+	if _, err := Snapshot(big); err == nil {
+		t.Error("oversized snapshot must fail")
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	g, err := NewTable(3, []float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Players != 3 {
+		t.Errorf("players = %d", back.Players)
+	}
+	for s := combin.Set(0); s < 8; s++ {
+		if back.Value(s) != g.Value(s) {
+			t.Errorf("V(%v) mismatch after round trip", s)
+		}
+	}
+	// Shapley survives serialization.
+	almostEqualVec(t, Shapley(&back), Shapley(g), 1e-12, "Shapley after round trip")
+}
+
+func TestTableJSONRejectsInvalid(t *testing.T) {
+	var tb Table
+	if err := json.Unmarshal([]byte(`{"players":2,"values":[0,1]}`), &tb); err == nil {
+		t.Error("wrong value count must fail")
+	}
+	if err := json.Unmarshal([]byte(`{"players":2,"values":[1,0,0,0]}`), &tb); err == nil {
+		t.Error("nonzero V(empty) must fail")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &tb); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func BenchmarkParallelShapley16(b *testing.B) {
+	g := Func{Players: 16, V: func(s combin.Set) float64 {
+		c := float64(s.Card())
+		return c * math.Sqrt(c)
+	}}
+	snap, err := Snapshot(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelShapley(snap, 0)
+	}
+}
+
+func BenchmarkSequentialShapley16(b *testing.B) {
+	g := Func{Players: 16, V: func(s combin.Set) float64 {
+		c := float64(s.Card())
+		return c * math.Sqrt(c)
+	}}
+	snap, err := Snapshot(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Shapley(snap)
+	}
+}

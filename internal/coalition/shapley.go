@@ -1,0 +1,160 @@
+package coalition
+
+import (
+	"fmt"
+	"math"
+
+	"fedshare/internal/combin"
+	"fedshare/internal/stats"
+)
+
+// Shapley computes the exact Shapley value of every player using the
+// subset-sum form
+//
+//	φ_i = Σ_{S ⊆ N\{i}}  |S|!·(n−|S|−1)!/n! · (V(S∪{i}) − V(S)).
+//
+// Cost is O(n·2^n) characteristic-function evaluations (2^n with a Cache).
+// Use MonteCarloShapley for games beyond ~20 players.
+func Shapley(g Game) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	// weight[s] = s!(n-s-1)!/n! computed in log space to stay finite for
+	// large n.
+	weight := make([]float64, n)
+	for s := 0; s < n; s++ {
+		lw := logFactorial(s) + logFactorial(n-s-1) - logFactorial(n)
+		weight[s] = math.Exp(lw)
+	}
+	phi := make([]float64, n)
+	full := combin.Full(n)
+	for i := 0; i < n; i++ {
+		rest := full.Without(i)
+		combin.Subsets(rest, func(s combin.Set) bool {
+			phi[i] += weight[s.Card()] * (g.Value(s.With(i)) - g.Value(s))
+			return true
+		})
+	}
+	return phi
+}
+
+func logFactorial(n int) float64 {
+	out := 0.0
+	for i := 2; i <= n; i++ {
+		out += math.Log(float64(i))
+	}
+	return out
+}
+
+// ShapleyByPermutation computes the Shapley value by full enumeration of all
+// n! orderings (equation (4) of the paper). It is exponentially slower than
+// Shapley and exists as an independent oracle for tests; it panics beyond 10
+// players.
+func ShapleyByPermutation(g Game) []float64 {
+	n := g.N()
+	if n > 10 {
+		panic("coalition: ShapleyByPermutation limited to 10 players")
+	}
+	phi := make([]float64, n)
+	count := 0
+	combin.Permutations(n, func(perm []int) bool {
+		var s combin.Set
+		prev := 0.0
+		for _, p := range perm {
+			s = s.With(p)
+			v := g.Value(s)
+			phi[p] += v - prev
+			prev = v
+		}
+		count++
+		return true
+	})
+	for i := range phi {
+		phi[i] /= float64(count)
+	}
+	return phi
+}
+
+// MonteCarloResult carries a sampled Shapley estimate with per-player
+// standard errors.
+type MonteCarloResult struct {
+	Phi     []float64 // estimated Shapley values
+	StdErr  []float64 // standard error of each estimate
+	Samples int
+}
+
+// MonteCarloShapley estimates the Shapley value by sampling uniform random
+// orderings. The estimator is unbiased; standard errors shrink as
+// 1/sqrt(samples). The paper notes exact computation is intractable in
+// general — this is the practical large-N fallback.
+func MonteCarloShapley(g Game, samples int, rng *stats.Rand) MonteCarloResult {
+	n := g.N()
+	if samples <= 0 {
+		panic("coalition: MonteCarloShapley needs samples > 0")
+	}
+	sums := make([]stats.Summary, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for it := 0; it < samples; it++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var s combin.Set
+		prev := 0.0
+		for _, p := range perm {
+			s = s.With(p)
+			v := g.Value(s)
+			sums[p].Add(v - prev)
+			prev = v
+		}
+	}
+	res := MonteCarloResult{
+		Phi:     make([]float64, n),
+		StdErr:  make([]float64, n),
+		Samples: samples,
+	}
+	for i := range sums {
+		res.Phi[i] = sums[i].Mean()
+		if samples > 1 {
+			res.StdErr[i] = sums[i].Stddev() / math.Sqrt(float64(samples))
+		}
+	}
+	return res
+}
+
+// Banzhaf computes the (non-normalized) Banzhaf value
+// β_i = 2^{-(n-1)} Σ_{S ⊆ N\{i}} (V(S∪{i}) − V(S)), an alternative power
+// index included for policy comparison.
+func Banzhaf(g Game) []float64 {
+	n := g.N()
+	beta := make([]float64, n)
+	if n == 0 {
+		return beta
+	}
+	norm := math.Exp2(-float64(n - 1))
+	full := combin.Full(n)
+	for i := 0; i < n; i++ {
+		rest := full.Without(i)
+		combin.Subsets(rest, func(s combin.Set) bool {
+			beta[i] += g.Value(s.With(i)) - g.Value(s)
+			return true
+		})
+		beta[i] *= norm
+	}
+	return beta
+}
+
+// CheckEfficiency verifies Σφ_i == V(N) within tol, returning a descriptive
+// error when violated. Useful as a guard after Monte-Carlo estimation.
+func CheckEfficiency(g Game, phi []float64, tol float64) error {
+	sum := 0.0
+	for _, p := range phi {
+		sum += p
+	}
+	vn := g.Value(Grand(g))
+	if math.Abs(sum-vn) > tol {
+		return fmt.Errorf("coalition: allocation sums to %g, V(N) = %g", sum, vn)
+	}
+	return nil
+}

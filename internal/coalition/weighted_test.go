@@ -1,0 +1,165 @@
+package coalition
+
+import (
+	"math"
+	"testing"
+
+	"fedshare/internal/combin"
+	"fedshare/internal/stats"
+)
+
+func TestHarsanyiDividendsAdditiveGame(t *testing.T) {
+	w := []float64{2, 5, 9}
+	div, err := HarsanyiDividends(additiveGame(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Additive games have dividends only on singletons.
+	for s := 1; s < len(div); s++ {
+		set := combin.Set(s)
+		if set.Card() == 1 {
+			i := set.Members()[0]
+			if math.Abs(div[s]-w[i]) > 1e-12 {
+				t.Errorf("Δ({%d}) = %g, want %g", i, div[s], w[i])
+			}
+		} else if math.Abs(div[s]) > 1e-12 {
+			t.Errorf("Δ(%v) = %g, want 0", set, div[s])
+		}
+	}
+}
+
+func TestHarsanyiDividendsReconstruct(t *testing.T) {
+	// V(S) must equal Σ_{T ⊆ S} Δ(T) for random games.
+	rng := stats.NewRand(101)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		vals := make([]float64, 1<<uint(n))
+		for i := 1; i < len(vals); i++ {
+			vals[i] = rng.Float64()*20 - 5
+		}
+		g, _ := NewTable(n, vals)
+		div, err := HarsanyiDividends(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		combin.AllCoalitions(n, func(s combin.Set) bool {
+			sum := 0.0
+			combin.Subsets(s, func(sub combin.Set) bool {
+				sum += div[sub]
+				return true
+			})
+			if math.Abs(sum-g.Value(s)) > 1e-9 {
+				t.Fatalf("trial %d: reconstruction of V(%v): %g != %g", trial, s, sum, g.Value(s))
+			}
+			return true
+		})
+	}
+}
+
+func TestWeightedShapleyEqualWeightsIsShapley(t *testing.T) {
+	g := gloveGame()
+	ws, err := WeightedShapley(g, []float64{3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqualVec(t, ws, Shapley(g), 1e-12, "equal-weight weighted Shapley")
+}
+
+func TestWeightedShapleyEfficiency(t *testing.T) {
+	rng := stats.NewRand(103)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		vals := make([]float64, 1<<uint(n))
+		for i := 1; i < len(vals); i++ {
+			vals[i] = rng.Float64() * 10
+		}
+		g, _ := NewTable(n, vals)
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 0.5 + rng.Float64()*4
+		}
+		phi, err := WeightedShapley(g, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckEfficiency(g, phi, 1e-7); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestWeightedShapleyTiltsTowardHeavyPlayers(t *testing.T) {
+	// Pure synergy game: only the grand coalition has value. The dividend
+	// splits by weight, so the heavier player takes proportionally more.
+	g := Func{Players: 2, V: func(s combin.Set) float64 {
+		if s == combin.Of(0, 1) {
+			return 10
+		}
+		return 0
+	}}
+	phi, err := WeightedShapley(g, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqualVec(t, phi, []float64{2, 8}, 1e-12, "weighted split of pure synergy")
+}
+
+func TestWeightedShapleyValidation(t *testing.T) {
+	g := gloveGame()
+	if _, err := WeightedShapley(g, []float64{1, 2}); err == nil {
+		t.Error("wrong weight count must fail")
+	}
+	if _, err := WeightedShapley(g, []float64{1, 0, 2}); err == nil {
+		t.Error("zero weight must fail")
+	}
+	if _, err := WeightedShapley(g, []float64{1, -1, 2}); err == nil {
+		t.Error("negative weight must fail")
+	}
+}
+
+func TestInteractionIndex(t *testing.T) {
+	// Additive game: no interaction at all.
+	pos, neg, err := InteractionIndex(additiveGame([]float64{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 0 || neg != 0 {
+		t.Errorf("additive game interactions = %g, %g", pos, neg)
+	}
+	// Glove game: V is subadditive in pairs with the right glove
+	// (complementarity) but redundant between the two lefts.
+	pos, neg, err = InteractionIndex(gloveGame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos <= 0 {
+		t.Errorf("glove game should have positive complementarity, got %g", pos)
+	}
+	if neg >= 0 {
+		t.Errorf("glove game should have negative redundancy, got %g", neg)
+	}
+}
+
+func TestDividendsSizeLimit(t *testing.T) {
+	g := Func{Players: 25, V: func(combin.Set) float64 { return 0 }}
+	if _, err := HarsanyiDividends(g); err == nil {
+		t.Error("oversized dividends must fail")
+	}
+}
+
+func BenchmarkHarsanyiDividends16(b *testing.B) {
+	g := Func{Players: 16, V: func(s combin.Set) float64 {
+		c := float64(s.Card())
+		return c * c
+	}}
+	snap, err := Snapshot(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HarsanyiDividends(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

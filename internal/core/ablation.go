@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"fedshare/internal/economics"
+)
+
+// Ablation quantifies how much of a sharing outcome is driven by the
+// diversity dimension versus raw capacity — the design-choice study behind
+// the paper's central claim that single-resource models misprice federation.
+type Ablation struct {
+	// ActualShares are the policy's shares under the real demand.
+	ActualShares []float64
+	// NoThresholdShares are the shares when every experiment's diversity
+	// threshold is removed (l = 0): the "capacity-only" counterfactual.
+	NoThresholdShares []float64
+	// Premium[i] = ActualShares[i] − NoThresholdShares[i]: the share a
+	// facility gains (or loses) purely because diversity matters.
+	Premium []float64
+	// ActualValue and NoThresholdValue are the corresponding V(N).
+	ActualValue, NoThresholdValue float64
+}
+
+// DiversityAblation computes the ablation for a model under the given
+// policy. The model is not modified.
+func DiversityAblation(m *Model, p Policy) (*Ablation, error) {
+	actual, err := p.Shares(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: ablation actual shares: %w", err)
+	}
+	// Rebuild the demand with thresholds stripped.
+	var classes []economics.DemandClass
+	for _, c := range m.Demand.Classes {
+		t := c.Type
+		t.MinLocations = 0
+		t.Strict = false
+		classes = append(classes, economics.DemandClass{Type: t, Count: c.Count})
+	}
+	flatDemand, err := economics.NewWorkload(classes...)
+	if err != nil {
+		return nil, err
+	}
+	counterfactual, err := NewModel(append([]Facility(nil), m.Facilities...), flatDemand)
+	if err != nil {
+		return nil, err
+	}
+	counterfactual.Mu = m.Mu
+	counterfactual.Overlap = m.Overlap
+	flat, err := p.Shares(counterfactual)
+	if err != nil {
+		return nil, fmt.Errorf("core: ablation counterfactual shares: %w", err)
+	}
+	ab := &Ablation{
+		ActualShares:      actual,
+		NoThresholdShares: flat,
+		Premium:           make([]float64, len(actual)),
+		ActualValue:       m.GrandValue(),
+		NoThresholdValue:  counterfactual.GrandValue(),
+	}
+	for i := range actual {
+		ab.Premium[i] = actual[i] - flat[i]
+	}
+	return ab, nil
+}
+
+// TotalDistortion returns Σ|shares_a − shares_b| / 2 — the total share mass
+// a policy moves relative to another (0 = identical division, 1 = disjoint).
+func TotalDistortion(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("core: distortion over mismatched share vectors")
+	}
+	d := 0.0
+	for i := range a {
+		diff := a[i] - b[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d / 2
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiversityAblationFig4(t *testing.T) {
+	// At l = 500 the diversity premium must favor the location-rich
+	// facility 3 and penalize facility 2 (whose proportional weight
+	// overstates its marginal worth).
+	m := fig4Model(t, 500, false)
+	ab, err := DiversityAblation(m, ShapleyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counterfactual: l = 0 makes Shapley == proportional == (1/13, 4/13,
+	// 8/13).
+	wantVec(t, ab.NoThresholdShares, []float64{1.0 / 13, 4.0 / 13, 8.0 / 13}, 1e-9, "no-threshold shares")
+	if ab.Premium[2] <= 0 {
+		t.Errorf("facility 3 diversity premium %g, want positive", ab.Premium[2])
+	}
+	if ab.Premium[1] >= 0 {
+		t.Errorf("facility 2 diversity premium %g, want negative", ab.Premium[1])
+	}
+	// Premiums sum to ~0 (both share vectors sum to 1).
+	sum := 0.0
+	for _, p := range ab.Premium {
+		sum += p
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Errorf("premiums sum to %g", sum)
+	}
+	if ab.ActualValue != 1300 || ab.NoThresholdValue != 1300 {
+		t.Errorf("values %g / %g", ab.ActualValue, ab.NoThresholdValue)
+	}
+	// Original model untouched.
+	if m.Demand.Classes[0].Type.MinLocations != 500 {
+		t.Error("ablation mutated the original demand")
+	}
+}
+
+func TestDiversityAblationZeroWhenNoThreshold(t *testing.T) {
+	m := fig4Model(t, 0, false)
+	ab, err := DiversityAblation(m, ShapleyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ab.Premium {
+		if math.Abs(p) > 1e-9 {
+			t.Errorf("premium[%d] = %g for threshold-free demand", i, p)
+		}
+	}
+}
+
+func TestTotalDistortion(t *testing.T) {
+	a := []float64{0.5, 0.3, 0.2}
+	if d := TotalDistortion(a, a); d != 0 {
+		t.Errorf("self distortion %g", d)
+	}
+	b := []float64{0.2, 0.3, 0.5}
+	if d := TotalDistortion(a, b); math.Abs(d-0.3) > 1e-12 {
+		t.Errorf("distortion %g, want 0.3", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths must panic")
+		}
+	}()
+	TotalDistortion(a, []float64{1})
+}
+
+func TestDistortionGrowsWithThreshold(t *testing.T) {
+	// The Shapley-vs-proportional distortion should rise with l over the
+	// interesting range (the paper's qualitative message).
+	dist := func(l float64) float64 {
+		m := fig4Model(t, l, false)
+		phi := shares(t, m, ShapleyPolicy{})
+		pi := shares(t, m, ProportionalPolicy{})
+		return TotalDistortion(phi, pi)
+	}
+	if dist(0) != 0 {
+		t.Errorf("distortion at l=0 should be 0, got %g", dist(0))
+	}
+	if dist(600) <= dist(150) {
+		t.Errorf("distortion should grow: %g at 150, %g at 600", dist(150), dist(600))
+	}
+}

@@ -1,0 +1,276 @@
+// Package core implements the paper's primary contribution: the economic
+// model of federated virtualized infrastructures (Sec. 2) and the federation
+// game built on it (Sec. 3). A Model couples the facilities' contributions
+// (locations L_i, per-location resources R_i, availability T_i) with a
+// demand workload; its characteristic function V(S) is the maximum total
+// utility coalition S can serve, computed by the allocation engine. Sharing
+// policies — Shapley, availability-proportional, consumption-proportional,
+// equal split, nucleolus — divide V(N) among the facilities.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"fedshare/internal/allocation"
+	"fedshare/internal/coalition"
+	"fedshare/internal/combin"
+	"fedshare/internal/economics"
+	"fedshare/internal/stats"
+)
+
+// Facility is one resource provider (a PlanetLab regional authority, a
+// testbed, a cloud region).
+type Facility struct {
+	Name string
+	// Locations is L_i: the number of distinct locations the facility
+	// contributes.
+	Locations int
+	// Resources is R_i: the resource units (slots for concurrent
+	// experiments) available at each of its locations.
+	Resources float64
+	// Availability is T_i ∈ (0, 1]; 0 means "use the default of 1"
+	// (the paper's analysis assumption).
+	Availability float64
+	// Users is U_i, the facility's affiliated user population (P2P
+	// scenario bookkeeping; not used by the commercial value function).
+	Users int
+	// Cost is the facility's provision-cost model (zero by default, per
+	// the paper's sunk-cost assumption).
+	Cost economics.Cost
+}
+
+func (f Facility) availability() float64 {
+	if f.Availability == 0 {
+		return 1
+	}
+	return f.Availability
+}
+
+// EffectiveCapacity returns R_i·T_i, the capacity the facility actually
+// offers per location.
+func (f Facility) EffectiveCapacity() float64 {
+	return f.Resources * f.availability()
+}
+
+// Validate checks the facility definition.
+func (f Facility) Validate() error {
+	if f.Locations < 0 {
+		return fmt.Errorf("core: facility %s has negative locations", f.Name)
+	}
+	if f.Resources < 0 {
+		return fmt.Errorf("core: facility %s has negative resources", f.Name)
+	}
+	if f.Availability < 0 || f.Availability > 1 {
+		return fmt.Errorf("core: facility %s availability %g outside [0,1]", f.Name, f.Availability)
+	}
+	return nil
+}
+
+// Model is the federation game instance: who contributes what, and what the
+// demand looks like.
+type Model struct {
+	Facilities []Facility
+	Demand     *economics.Workload
+	// Mu is the market conversion from utility to profit (µ ≤ 1 in the
+	// paper); 0 means 1.
+	Mu float64
+	// Overlap, when non-nil, maps each facility to the explicit set of
+	// location identifiers it covers (Sec. 2.1's overlap model o_ij).
+	// When nil, facilities cover pairwise-disjoint locations, which is
+	// the paper's setting for all numerical figures.
+	Overlap [][]int
+
+	game *coalition.Cache
+}
+
+// NewModel validates and builds a federation model.
+func NewModel(facilities []Facility, demand *economics.Workload) (*Model, error) {
+	if len(facilities) == 0 {
+		return nil, fmt.Errorf("core: federation needs at least one facility")
+	}
+	if len(facilities) > combin.MaxPlayers {
+		return nil, fmt.Errorf("core: at most %d facilities supported", combin.MaxPlayers)
+	}
+	for _, f := range facilities {
+		if err := f.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if demand == nil {
+		demand = &economics.Workload{}
+	}
+	return &Model{Facilities: facilities, Demand: demand}, nil
+}
+
+// WithOverlap samples an overlap structure: each facility covers L_i
+// distinct locations drawn uniformly from a universe of the given size, so
+// the pairwise overlap probability o_ij is governed by universe size
+// (independent placement, as the paper suggests for simplicity). It returns
+// the model for chaining and is deterministic given the rng.
+func (m *Model) WithOverlap(universe int, rng *stats.Rand) (*Model, error) {
+	for _, f := range m.Facilities {
+		if f.Locations > universe {
+			return nil, fmt.Errorf("core: facility %s has %d locations, universe only %d",
+				f.Name, f.Locations, universe)
+		}
+	}
+	m.Overlap = make([][]int, len(m.Facilities))
+	for i, f := range m.Facilities {
+		perm := rng.Perm(universe)
+		ids := append([]int(nil), perm[:f.Locations]...)
+		m.Overlap[i] = ids
+	}
+	m.game = nil
+	return m, nil
+}
+
+// mu returns the profit conversion factor.
+func (m *Model) mu() float64 {
+	if m.Mu == 0 {
+		return 1
+	}
+	return m.Mu
+}
+
+// N returns the number of facilities.
+func (m *Model) N() int { return len(m.Facilities) }
+
+// ownerWeight attributes a pool class to contributing facilities.
+type ownerWeight struct {
+	facility int
+	frac     float64
+}
+
+// pooling couples an allocation pool with the attribution of each class's
+// consumption back to facilities.
+type pooling struct {
+	pool   allocation.Pool
+	owners [][]ownerWeight // per class
+}
+
+// poolFor builds the location pool available to coalition s.
+func (m *Model) poolFor(s combin.Set) pooling {
+	if m.Overlap == nil {
+		var p pooling
+		for _, i := range s.Members() {
+			f := m.Facilities[i]
+			if f.Locations == 0 {
+				continue
+			}
+			p.pool.Classes = append(p.pool.Classes, allocation.Class{
+				Label:    f.Name,
+				Count:    f.Locations,
+				Capacity: f.EffectiveCapacity(),
+			})
+			p.owners = append(p.owners, []ownerWeight{{facility: i, frac: 1}})
+		}
+		return p
+	}
+	// Overlapping coverage: group locations by the exact subset of
+	// coalition members covering them; capacities add where facilities
+	// overlap.
+	cover := map[int]combin.Set{}
+	for _, i := range s.Members() {
+		for _, loc := range m.Overlap[i] {
+			cover[loc] = cover[loc].With(i)
+		}
+	}
+	classCount := map[combin.Set]int{}
+	for _, owners := range cover {
+		classCount[owners]++
+	}
+	var p pooling
+	combin.Subsets(s, func(owners combin.Set) bool {
+		count, ok := classCount[owners]
+		if !ok || owners.IsEmpty() {
+			return true
+		}
+		capacity := 0.0
+		totalR := 0.0
+		for _, i := range owners.Members() {
+			capacity += m.Facilities[i].EffectiveCapacity()
+			totalR += m.Facilities[i].EffectiveCapacity()
+		}
+		var ow []ownerWeight
+		for _, i := range owners.Members() {
+			frac := 0.0
+			if totalR > 0 {
+				frac = m.Facilities[i].EffectiveCapacity() / totalR
+			}
+			ow = append(ow, ownerWeight{facility: i, frac: frac})
+		}
+		p.pool.Classes = append(p.pool.Classes, allocation.Class{
+			Label:    owners.String(),
+			Count:    count,
+			Capacity: capacity,
+		})
+		p.owners = append(p.owners, ow)
+		return true
+	})
+	return p
+}
+
+// requests expands the demand workload into allocation requests.
+func (m *Model) requests() []allocation.Request {
+	var reqs []allocation.Request
+	for _, class := range m.Demand.Classes {
+		t := class.Type
+		maxLoc := 0 // unbounded
+		if !math.IsInf(t.MaxLocations, 1) {
+			maxLoc = int(math.Floor(t.MaxLocations))
+		}
+		for k := 0; k < class.Count; k++ {
+			reqs = append(reqs, allocation.Request{
+				Min:       t.Utility().Threshold(),
+				Max:       maxLoc,
+				Shape:     t.Shape,
+				Resources: t.Resources,
+				Label:     t.Name,
+			})
+		}
+	}
+	return reqs
+}
+
+// Value is the characteristic function: the profit coalition s can generate
+// by optimally serving the demand with its pooled resources
+// (P = µ·Σ_k u_k(x_k), Sec. 3.1).
+func (m *Model) Value(s combin.Set) float64 {
+	if s.IsEmpty() {
+		return 0
+	}
+	p := m.poolFor(s)
+	res := allocation.Solve(p.pool, m.requests())
+	return m.mu() * res.Utility
+}
+
+// Game returns the memoized coalitional game over the facilities.
+func (m *Model) Game() *coalition.Cache {
+	if m.game == nil {
+		m.game = coalition.NewCache(coalition.Func{Players: m.N(), V: m.Value})
+	}
+	return m.game
+}
+
+// GrandValue is V(N).
+func (m *Model) GrandValue() float64 {
+	return m.Game().Value(combin.Full(m.N()))
+}
+
+// ConsumptionByFacility solves the grand-coalition allocation and attributes
+// consumed resource units to facilities (the numerator of ρ̂, eq. (7)).
+func (m *Model) ConsumptionByFacility() []float64 {
+	p := m.poolFor(combin.Full(m.N()))
+	res := allocation.Solve(p.pool, m.requests())
+	out := make([]float64, m.N())
+	for c, consumed := range res.ConsumedByClass {
+		for _, ow := range p.owners[c] {
+			out[ow.facility] += consumed * ow.frac
+		}
+	}
+	return out
+}
+
+// Invalidate drops the memoized game (call after mutating the model).
+func (m *Model) Invalidate() { m.game = nil }

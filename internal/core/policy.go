@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+
+	"fedshare/internal/coalition"
+	"fedshare/internal/combin"
+	"fedshare/internal/stats"
+)
+
+// Policy computes normalized value shares ŝ_i for the facilities of a
+// model. Shares sum to 1 whenever the federation generates value (except for
+// the resource-proportional rule, which is defined even when V(N) = 0).
+type Policy interface {
+	// Name is a short identifier, e.g. "shapley".
+	Name() string
+	// Shares returns the normalized share vector.
+	Shares(m *Model) ([]float64, error)
+}
+
+// ShapleyPolicy shares value by the normalized Shapley value φ̂ (eq. (5)):
+// each facility receives its expected marginal contribution.
+type ShapleyPolicy struct{}
+
+// Name implements Policy.
+func (ShapleyPolicy) Name() string { return "shapley" }
+
+// Shares implements Policy.
+func (ShapleyPolicy) Shares(m *Model) ([]float64, error) {
+	g := m.Game()
+	return coalition.Normalize(g, coalition.Shapley(g)), nil
+}
+
+// MonteCarloShapleyPolicy estimates φ̂ by sampling orderings — the practical
+// rule for federations too large for exact computation.
+type MonteCarloShapleyPolicy struct {
+	Samples int
+	Seed    uint64
+}
+
+// Name implements Policy.
+func (MonteCarloShapleyPolicy) Name() string { return "shapley-mc" }
+
+// Shares implements Policy.
+func (p MonteCarloShapleyPolicy) Shares(m *Model) ([]float64, error) {
+	samples := p.Samples
+	if samples <= 0 {
+		samples = 2000
+	}
+	g := m.Game()
+	res := coalition.MonteCarloShapley(g, samples, stats.NewRand(p.Seed))
+	return coalition.Normalize(g, res.Phi), nil
+}
+
+// ProportionalPolicy is the availability-proportional rule π̂ (eq. (6)):
+// ŝ_i = L_i·R_i·T_i / Σ_k L_k·R_k·T_k. It ignores demand entirely.
+type ProportionalPolicy struct{}
+
+// Name implements Policy.
+func (ProportionalPolicy) Name() string { return "proportional" }
+
+// Shares implements Policy.
+func (ProportionalPolicy) Shares(m *Model) ([]float64, error) {
+	out := make([]float64, m.N())
+	total := 0.0
+	for i, f := range m.Facilities {
+		out[i] = float64(f.Locations) * f.EffectiveCapacity()
+		total += out[i]
+	}
+	if total == 0 {
+		return out, nil
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out, nil
+}
+
+// ConsumptionPolicy is the consumption-proportional rule ρ̂ (eq. (7)):
+// shares follow the resources actually consumed at each facility's locations
+// under the grand-coalition allocation.
+type ConsumptionPolicy struct{}
+
+// Name implements Policy.
+func (ConsumptionPolicy) Name() string { return "consumption" }
+
+// Shares implements Policy.
+func (ConsumptionPolicy) Shares(m *Model) ([]float64, error) {
+	consumed := m.ConsumptionByFacility()
+	total := 0.0
+	for _, c := range consumed {
+		total += c
+	}
+	if total == 0 {
+		return consumed, nil
+	}
+	for i := range consumed {
+		consumed[i] /= total
+	}
+	return consumed, nil
+}
+
+// EqualPolicy divides value equally — the equity baseline the paper notes
+// misaligns provision incentives.
+type EqualPolicy struct{}
+
+// Name implements Policy.
+func (EqualPolicy) Name() string { return "equal" }
+
+// Shares implements Policy.
+func (EqualPolicy) Shares(m *Model) ([]float64, error) {
+	out := make([]float64, m.N())
+	for i := range out {
+		out[i] = 1 / float64(m.N())
+	}
+	return out, nil
+}
+
+// NucleolusPolicy shares by the nucleolus — max-min fair over coalition
+// excesses; in the core whenever the core is nonempty.
+type NucleolusPolicy struct{}
+
+// Name implements Policy.
+func (NucleolusPolicy) Name() string { return "nucleolus" }
+
+// Shares implements Policy.
+func (NucleolusPolicy) Shares(m *Model) ([]float64, error) {
+	g := m.Game()
+	nuc, err := coalition.Nucleolus(g)
+	if err != nil {
+		return nil, err
+	}
+	return coalition.Normalize(g, nuc), nil
+}
+
+// BanzhafPolicy shares by the normalized Banzhaf index — an alternative
+// power measure included for comparison.
+type BanzhafPolicy struct{}
+
+// Name implements Policy.
+func (BanzhafPolicy) Name() string { return "banzhaf" }
+
+// Shares implements Policy.
+func (BanzhafPolicy) Shares(m *Model) ([]float64, error) {
+	beta := coalition.Banzhaf(m.Game())
+	total := 0.0
+	for _, b := range beta {
+		total += b
+	}
+	if total == 0 {
+		return make([]float64, m.N()), nil
+	}
+	for i := range beta {
+		beta[i] /= total
+	}
+	return beta, nil
+}
+
+// Profits converts a policy's normalized shares into absolute payoffs
+// v_i = ŝ_i · V(N).
+func Profits(m *Model, p Policy) ([]float64, error) {
+	shares, err := p.Shares(m)
+	if err != nil {
+		return nil, err
+	}
+	vn := m.GrandValue()
+	out := make([]float64, len(shares))
+	for i, s := range shares {
+		out[i] = s * vn
+	}
+	return out, nil
+}
+
+// Report summarizes a federation instance for operators: the value of every
+// coalition, structural properties, and shares under a set of policies.
+type Report struct {
+	GrandValue     float64
+	CoalitionValue map[string]float64
+	Superadditive  bool
+	Convex         bool
+	CoreNonempty   bool
+	LeastCoreEps   float64
+	Shares         map[string][]float64
+}
+
+// Analyze builds a full report. Policies failing to compute are reported
+// with a nil share vector rather than failing the whole report.
+func Analyze(m *Model, policies ...Policy) (*Report, error) {
+	if len(policies) == 0 {
+		policies = []Policy{ShapleyPolicy{}, ProportionalPolicy{}, ConsumptionPolicy{}, EqualPolicy{}}
+	}
+	g := m.Game()
+	rep := &Report{
+		GrandValue:     m.GrandValue(),
+		CoalitionValue: map[string]float64{},
+		Shares:         map[string][]float64{},
+	}
+	n := m.N()
+	for mask := combin.Set(1); mask < combin.Set(1)<<uint(n); mask++ {
+		rep.CoalitionValue[coalitionName(m, mask)] = g.Value(mask)
+	}
+	rep.Superadditive = coalition.IsSuperadditive(g)
+	rep.Convex = coalition.IsConvex(g)
+	lc, err := coalition.LeastCore(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: least-core analysis failed: %w", err)
+	}
+	rep.LeastCoreEps = lc.Epsilon
+	rep.CoreNonempty = lc.Epsilon <= 1e-7
+	for _, p := range policies {
+		shares, err := p.Shares(m)
+		if err != nil {
+			rep.Shares[p.Name()] = nil
+			continue
+		}
+		rep.Shares[p.Name()] = shares
+	}
+	return rep, nil
+}
+
+func coalitionName(m *Model, s combin.Set) string {
+	out := ""
+	for _, i := range s.Members() {
+		if out != "" {
+			out += "+"
+		}
+		out += m.Facilities[i].Name
+	}
+	return out
+}
+
+// IncentiveCurve computes facility idx's absolute payoff under policy p as
+// its location count sweeps over the given values (the Fig 9 experiment).
+// The model is restored to its original state afterwards.
+func IncentiveCurve(m *Model, idx int, locations []int, p Policy) (stats.Series, error) {
+	if idx < 0 || idx >= m.N() {
+		return stats.Series{}, fmt.Errorf("core: facility index %d out of range", idx)
+	}
+	orig := m.Facilities[idx].Locations
+	defer func() {
+		m.Facilities[idx].Locations = orig
+		m.Invalidate()
+	}()
+	series := stats.Series{Name: fmt.Sprintf("%s(%s)", p.Name(), m.Facilities[idx].Name)}
+	for _, L := range locations {
+		if L < 0 {
+			return stats.Series{}, fmt.Errorf("core: negative location count %d", L)
+		}
+		m.Facilities[idx].Locations = L
+		m.Invalidate()
+		profits, err := Profits(m, p)
+		if err != nil {
+			return stats.Series{}, err
+		}
+		series.Add(float64(L), profits[idx])
+	}
+	return series, nil
+}
+
+// UserWeightedShapleyPolicy shares value by the weighted Shapley value with
+// the facilities' affiliated-user populations U_i as weights — the
+// customer-ownership contribution dimension the paper borrows from Aram et
+// al. [8] for the commercial scenario. Facilities with no recorded users
+// default to weight 1.
+type UserWeightedShapleyPolicy struct{}
+
+// Name implements Policy.
+func (UserWeightedShapleyPolicy) Name() string { return "shapley-users" }
+
+// Shares implements Policy.
+func (UserWeightedShapleyPolicy) Shares(m *Model) ([]float64, error) {
+	w := make([]float64, m.N())
+	for i, f := range m.Facilities {
+		if f.Users > 0 {
+			w[i] = float64(f.Users)
+		} else {
+			w[i] = 1
+		}
+	}
+	g := m.Game()
+	phi, err := coalition.WeightedShapley(g, w)
+	if err != nil {
+		return nil, err
+	}
+	return coalition.Normalize(g, phi), nil
+}

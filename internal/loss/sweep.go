@@ -1,0 +1,46 @@
+package loss
+
+import (
+	"fmt"
+
+	"fedshare/internal/economics"
+	"fedshare/internal/stats"
+)
+
+// HoldingTimeSweep measures the relative federation gain (superadditivity
+// gap normalized by offered value) as the holding time varies at constant
+// offered load — the quantitative version of Sec. 3.2.1's "the smaller the
+// t_k's, the more chances for the game to be super-additive".
+//
+// base describes the federation and a single arrival class whose Rate is
+// interpreted at HoldingTime = 1; for each swept t the rate is scaled to
+// Rate/t so the offered load (erlangs) stays fixed.
+func HoldingTimeSweep(base Config, holds []float64) (stats.Series, error) {
+	if len(base.Arrivals) != 1 {
+		return stats.Series{}, fmt.Errorf("loss: sweep needs exactly one arrival class")
+	}
+	series := stats.Series{Name: "relative federation gain"}
+	spec := base.Arrivals[0]
+	for _, t := range holds {
+		if t <= 0 || t > 1 {
+			return stats.Series{}, fmt.Errorf("loss: holding time %g outside (0,1]", t)
+		}
+		cfg := base
+		scaled := spec.Type
+		scaled.HoldingTime = t
+		cfg.Arrivals = []economics.ArrivalSpec{{Type: scaled, Rate: spec.Rate / t}}
+		gap, err := SuperadditivityGap(cfg)
+		if err != nil {
+			return stats.Series{}, err
+		}
+		// Normalize by the offered value rate so different t are
+		// comparable: offered = rate * u(minimum span).
+		offered := (spec.Rate / t) * scaled.Utility().Eval(scaled.MinLocations)
+		rel := 0.0
+		if offered > 0 {
+			rel = gap / offered
+		}
+		series.Add(t, rel)
+	}
+	return series, nil
+}

@@ -1,0 +1,302 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedshare/internal/stats"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	return sol
+}
+
+func TestTextbookMaximization(t *testing.T) {
+	// maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), 36.
+	p := NewProblem(2)
+	p.C = []float64{3, 5}
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-36) > 1e-7 {
+		t.Errorf("objective = %g, want 36", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-7 || math.Abs(sol.X[1]-6) > 1e-7 {
+		t.Errorf("x = %v, want (2,6)", sol.X)
+	}
+}
+
+func TestEqualityConstraints(t *testing.T) {
+	// maximize x + y s.t. x + y = 10, x - y = 2 -> (6, 4), 10.
+	p := NewProblem(2)
+	p.C = []float64{1, 1}
+	p.AddConstraint([]float64{1, 1}, EQ, 10)
+	p.AddConstraint([]float64{1, -1}, EQ, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-6) > 1e-7 || math.Abs(sol.X[1]-4) > 1e-7 {
+		t.Errorf("x = %v, want (6,4)", sol.X)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// maximize -x - y (i.e. minimize x+y) s.t. x + 2y >= 4, 3x + y >= 6 ->
+	// intersection (8/5, 6/5), objective -(14/5).
+	p := NewProblem(2)
+	p.C = []float64{-1, -1}
+	p.AddConstraint([]float64{1, 2}, GE, 4)
+	p.AddConstraint([]float64{3, 1}, GE, 6)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective+14.0/5.0) > 1e-7 {
+		t.Errorf("objective = %g, want -2.8", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.AddConstraint([]float64{1}, LE, 1)
+	p.AddConstraint([]float64{1}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{1, 0}
+	p.AddConstraint([]float64{0, 1}, LE, 5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNoConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.C = []float64{-1, -2}
+	sol := solveOK(t, p)
+	if sol.Objective != 0 {
+		t.Errorf("objective = %g, want 0", sol.Objective)
+	}
+	p2 := NewProblem(1)
+	p2.C = []float64{1}
+	sol2, err := p2.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol2.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol2.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x <= -? rewritten internally: maximize x s.t. -x <= -3 (i.e. x >= 3)
+	// and x <= 5 -> 5.
+	p := NewProblem(1)
+	p.C = []float64{1}
+	p.AddConstraint([]float64{-1}, LE, -3)
+	p.AddConstraint([]float64{1}, LE, 5)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-5) > 1e-7 {
+		t.Errorf("objective = %g, want 5", sol.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degeneracy: redundant constraints through one vertex.
+	p := NewProblem(2)
+	p.C = []float64{1, 1}
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	p.AddConstraint([]float64{0, 1}, LE, 1)
+	p.AddConstraint([]float64{1, 1}, LE, 2)
+	p.AddConstraint([]float64{2, 2}, LE, 4)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Objective-2) > 1e-7 {
+		t.Errorf("objective = %g, want 2", sol.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows keep an artificial basic at zero; the solve
+	// must still succeed.
+	p := NewProblem(2)
+	p.C = []float64{1, 2}
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{2, 2}, EQ, 8)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	sol := solveOK(t, p)
+	// Best is x=0, y=4 -> 8.
+	if math.Abs(sol.Objective-8) > 1e-7 {
+		t.Errorf("objective = %g, want 8", sol.Objective)
+	}
+}
+
+func TestFreeVar(t *testing.T) {
+	// maximize v s.t. v <= -2 with v free -> v = -2.
+	// Model: columns 0,1 are v+ and v-.
+	p := NewProblem(2)
+	fv := FreeVar{Pos: 0, Neg: 1}
+	fv.Coeff(p.C, 1)
+	row := make([]float64, 2)
+	fv.Coeff(row, 1)
+	p.AddConstraint(row, LE, -2)
+	sol := solveOK(t, p)
+	if got := fv.Value(sol.X); math.Abs(got+2) > 1e-7 {
+		t.Errorf("free var = %g, want -2", got)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	p := NewProblem(2)
+	p.AddConstraint([]float64{1}, LE, 1)
+}
+
+// TestRandomKnapsackAgainstGreedy checks the LP relaxation of a fractional
+// knapsack against the exact greedy solution, which is optimal for the
+// relaxation.
+func TestRandomKnapsackAgainstGreedy(t *testing.T) {
+	rng := stats.NewRand(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := 0; i < n; i++ {
+			values[i] = 1 + math.Floor(rng.Float64()*9)
+			weights[i] = 1 + math.Floor(rng.Float64()*9)
+		}
+		capacity := 1 + math.Floor(rng.Float64()*20)
+
+		p := NewProblem(n)
+		copy(p.C, values)
+		p.AddConstraint(weights, LE, capacity)
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			row[i] = 1
+			p.AddConstraint(row, LE, 1)
+		}
+		sol := solveOK(t, p)
+
+		// Greedy by density is optimal for the fractional knapsack.
+		idx := rng.Perm(n) // randomize tie order first
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if values[idx[b]]/weights[idx[b]] > values[idx[a]]/weights[idx[a]] {
+					idx[a], idx[b] = idx[b], idx[a]
+				}
+			}
+		}
+		remaining := capacity
+		want := 0.0
+		for _, i := range idx {
+			take := math.Min(1, remaining/weights[i])
+			if take <= 0 {
+				break
+			}
+			want += take * values[i]
+			remaining -= take * weights[i]
+		}
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: LP %g != greedy %g (v=%v w=%v cap=%g)",
+				trial, sol.Objective, want, values, weights, capacity)
+		}
+	}
+}
+
+// TestPropertyFeasibility: any Optimal solution must satisfy every
+// constraint and nonnegativity.
+func TestPropertyFeasibility(t *testing.T) {
+	rng := stats.NewRand(7)
+	f := func() bool {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := NewProblem(n)
+		for i := range p.C {
+			p.C[i] = rng.Float64()*10 - 5
+		}
+		for j := 0; j < m; j++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = rng.Float64()*4 - 1
+			}
+			rel := Relation(rng.Intn(3))
+			rhs := rng.Float64() * 10
+			p.AddConstraint(row, rel, rhs)
+		}
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			return true // infeasible/unbounded/limit are acceptable outcomes
+		}
+		for _, x := range sol.X {
+			if x < -1e-7 {
+				return false
+			}
+		}
+		for _, r := range p.Rows {
+			lhs := 0.0
+			for i, c := range r.Coeffs {
+				lhs += c * sol.X[i]
+			}
+			switch r.Rel {
+			case LE:
+				if lhs > r.RHS+1e-6 {
+					return false
+				}
+			case GE:
+				if lhs < r.RHS-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(lhs-r.RHS) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolve20x20(b *testing.B) {
+	rng := stats.NewRand(5)
+	p := NewProblem(20)
+	for i := range p.C {
+		p.C[i] = rng.Float64()
+	}
+	for j := 0; j < 20; j++ {
+		row := make([]float64, 20)
+		for i := range row {
+			row[i] = rng.Float64()
+		}
+		p.AddConstraint(row, LE, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"fedshare/internal/allocation"
+)
+
+func pool3(l1, l2, l3 int, r1, r2, r3 float64) allocation.Pool {
+	return allocation.Pool{Classes: []allocation.Class{
+		{Label: "f1", Count: l1, Capacity: r1},
+		{Label: "f2", Count: l2, Capacity: r2},
+		{Label: "f3", Count: l3, Capacity: r3},
+	}}
+}
+
+func TestNewBid(t *testing.T) {
+	b := NewBid("exp", 100, 1, 0)
+	if b.Quantity != 100 || b.Amount != 100 || b.Resources != 1 {
+		t.Errorf("bid = %+v", b)
+	}
+	b = NewBid("tiny", 0, 1, 2)
+	if b.Quantity != 1 {
+		t.Errorf("zero-threshold bid quantity %d", b.Quantity)
+	}
+	b = NewBid("convex", 10, 1.2, 1)
+	if math.Abs(b.Amount-math.Pow(10, 1.2)) > 1e-9 {
+		t.Errorf("convex bid amount %g", b.Amount)
+	}
+}
+
+func TestBidValidate(t *testing.T) {
+	for _, b := range []Bid{
+		{Quantity: 0, Amount: 1, Resources: 1},
+		{Quantity: 1, Amount: -1, Resources: 1},
+		{Quantity: 1, Amount: 1, Resources: 0},
+	} {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bid %+v should fail", b)
+		}
+	}
+}
+
+func TestSpotAbundantSupplyZeroPrice(t *testing.T) {
+	p := pool3(100, 400, 800, 1, 1, 1)
+	bids := []Bid{NewBid("a", 50, 1, 1), NewBid("b", 30, 1, 1)}
+	res, err := ClearSpot(p, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Price != 0 {
+		t.Errorf("price %g under abundant supply, want 0", res.Price)
+	}
+	if !res.Accepted[0] || !res.Accepted[1] {
+		t.Error("all bids should trade")
+	}
+	if res.SlotsTraded != 80 {
+		t.Errorf("slots traded %d", res.SlotsTraded)
+	}
+	if res.Welfare != 80 {
+		t.Errorf("welfare %g", res.Welfare)
+	}
+}
+
+func TestSpotScarcitySetsPrice(t *testing.T) {
+	// Supply 10 slots; three bids of 6 slots each at different densities.
+	p := allocation.Pool{Classes: []allocation.Class{{Label: "s", Count: 10, Capacity: 1}}}
+	bids := []Bid{
+		{Label: "hi", Quantity: 6, Amount: 18, Resources: 1}, // density 3
+		{Label: "mid", Quantity: 4, Amount: 8, Resources: 1}, // density 2
+		{Label: "lo", Quantity: 6, Amount: 6, Resources: 1},  // density 1
+	}
+	res, err := ClearSpot(p, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted[0] || !res.Accepted[1] || res.Accepted[2] {
+		t.Errorf("acceptance = %v", res.Accepted)
+	}
+	if res.Price != 1 {
+		t.Errorf("price %g, want 1 (first excluded bid's density)", res.Price)
+	}
+	if res.SlotsTraded != 10 {
+		t.Errorf("slots %d", res.SlotsTraded)
+	}
+}
+
+func TestSpotStrandedDiversityBid(t *testing.T) {
+	// Plenty of raw slots, but only 5 distinct locations: a bid needing 8
+	// distinct locations clears on price yet cannot be placed.
+	p := allocation.Pool{Classes: []allocation.Class{{Label: "s", Count: 5, Capacity: 10}}}
+	bids := []Bid{{Label: "div", Quantity: 8, Amount: 80, Resources: 1}}
+	res, err := ClearSpot(p, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stranded != 1 {
+		t.Errorf("stranded %d, want 1", res.Stranded)
+	}
+	if res.Accepted[0] {
+		t.Error("unplaceable bid must end rejected")
+	}
+	if res.Welfare != 0 {
+		t.Errorf("welfare %g", res.Welfare)
+	}
+}
+
+func TestSpotRevenueFollowsCapacityNotDiversity(t *testing.T) {
+	// The market's implicit sharing is capacity-proportional — equal
+	// L_i·R_i means equal revenue, no matter how diversity-relevant each
+	// facility is.
+	p := pool3(100, 400, 800, 80, 20, 10) // all L*R = 8000
+	var bids []Bid
+	for i := 0; i < 60; i++ {
+		bids = append(bids, NewBid("b", 500, 1, 1))
+	}
+	res, err := ClearSpot(p, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := Shares(res.RevenueByClass)
+	if res.Price == 0 {
+		t.Skip("no scarcity, no revenue to share")
+	}
+	for i, s := range shares {
+		if math.Abs(s-1.0/3) > 1e-9 {
+			t.Errorf("market share[%d] = %g, want exactly 1/3", i, s)
+		}
+	}
+}
+
+func TestCombinatorialWinnersAreFeasible(t *testing.T) {
+	p := pool3(3, 2, 1, 1, 1, 1) // 6 locations
+	bids := []Bid{
+		NewBid("big", 5, 1, 1),
+		NewBid("small", 3, 1, 1),
+	}
+	res, err := RunCombinatorial(p, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 + 3 > 6 slots: only one can win; density equal (1), stable order
+	// keeps "big" first.
+	if !res.Winning[0] || res.Winning[1] {
+		t.Errorf("winners = %v", res.Winning)
+	}
+	if res.Payments[0] != 5 || res.Payments[1] != 0 {
+		t.Errorf("payments = %v", res.Payments)
+	}
+	if res.Welfare != 5 {
+		t.Errorf("welfare %g", res.Welfare)
+	}
+}
+
+func TestCombinatorialRevenueByConsumption(t *testing.T) {
+	p := pool3(100, 400, 800, 1, 1, 1)
+	bids := []Bid{NewBid("all", 1300, 1, 1)}
+	res, err := RunCombinatorial(p, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Winning[0] {
+		t.Fatal("the single bid should win")
+	}
+	shares := Shares(res.RevenueByClass)
+	// Consumption spreads over all 1300 locations: shares = L_i/ΣL.
+	want := []float64{100.0 / 1300, 400.0 / 1300, 800.0 / 1300}
+	for i := range want {
+		if math.Abs(shares[i]-want[i]) > 0.01 {
+			t.Errorf("share[%d] = %g, want %g", i, shares[i], want[i])
+		}
+	}
+}
+
+func TestMarketIgnoresComplementarity(t *testing.T) {
+	// The Sec. 5 claim, quantified: in the Fig 4 setting at l = 500 the
+	// Shapley shares are (4/39, 17/78, 53/78); both market mechanisms
+	// give facility 2 at least its proportional 4/13 ≈ 0.308, far above
+	// its marginal worth 17/78 ≈ 0.218.
+	p := pool3(100, 400, 800, 1, 1, 1)
+	bids := []Bid{NewBid("exp", 500, 1, 1)}
+	auction, err := RunCombinatorial(p, bids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aShares := Shares(auction.RevenueByClass)
+	shapley2 := 17.0 / 78
+	if aShares[1] <= shapley2+0.05 {
+		t.Errorf("auction share for facility 2 = %g, expected well above Shapley %g",
+			aShares[1], shapley2)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res, err := ClearSpot(allocation.Pool{}, nil)
+	if err != nil || res.SlotsTraded != 0 {
+		t.Errorf("empty spot: %v %+v", err, res)
+	}
+	ares, err := RunCombinatorial(allocation.Pool{}, nil)
+	if err != nil || ares.Welfare != 0 {
+		t.Errorf("empty auction: %v %+v", err, ares)
+	}
+	if _, err := ClearSpot(allocation.Pool{}, []Bid{{Quantity: 0, Amount: 1, Resources: 1}}); err == nil {
+		t.Error("invalid bid must fail")
+	}
+	if _, err := RunCombinatorial(allocation.Pool{}, []Bid{{Quantity: 0, Amount: 1, Resources: 1}}); err == nil {
+		t.Error("invalid bid must fail")
+	}
+}
+
+func TestShares(t *testing.T) {
+	s := Shares([]float64{1, 3})
+	if s[0] != 0.25 || s[1] != 0.75 {
+		t.Errorf("shares = %v", s)
+	}
+	z := Shares([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("zero revenue shares = %v", z)
+	}
+}
+
+func BenchmarkClearSpot(b *testing.B) {
+	p := pool3(100, 400, 800, 80, 20, 10)
+	var bids []Bid
+	for i := 0; i < 50; i++ {
+		bids = append(bids, NewBid("b", 300, 1, 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ClearSpot(p, bids); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

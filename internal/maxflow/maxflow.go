@@ -1,0 +1,162 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on unit-ish
+// integer networks. The allocation package uses it as an exact engine for
+// linear-utility (d = 1) instances with per-experiment location caps, where
+// the closed-form polymatroid argument no longer applies; it also serves as
+// an independent oracle for the other allocation engines.
+package maxflow
+
+import "fmt"
+
+// Graph is a flow network under construction. Vertices are dense integers;
+// add edges with AddEdge, then call MaxFlow.
+type Graph struct {
+	n     int
+	heads [][]int // adjacency: indices into edges
+	edges []edge
+}
+
+type edge struct {
+	to, rev int // rev: index of the reverse edge in heads[to]
+	cap     int
+}
+
+// NewGraph creates a network with n vertices.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("maxflow: need at least one vertex")
+	}
+	return &Graph{n: n, heads: make([][]int, n)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge adds a directed edge u -> v with the given capacity and returns
+// its handle for later flow inspection.
+func (g *Graph) AddEdge(u, v, capacity int) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("maxflow: edge (%d,%d) out of range", u, v))
+	}
+	if capacity < 0 {
+		panic("maxflow: negative capacity")
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: v, rev: len(g.heads[v]), cap: capacity})
+	g.heads[u] = append(g.heads[u], id)
+	rid := len(g.edges)
+	g.edges = append(g.edges, edge{to: u, rev: len(g.heads[u]) - 1, cap: 0})
+	g.heads[v] = append(g.heads[v], rid)
+	return id
+}
+
+// Flow returns the flow currently routed through the edge handle returned
+// by AddEdge (call after MaxFlow).
+func (g *Graph) Flow(edgeID int) int {
+	// Flow on a forward edge equals the residual capacity of its twin.
+	return g.edges[edgeID^1].cap
+}
+
+// MaxFlow computes the maximum s-t flow (Dinic's algorithm: BFS level
+// graph + DFS blocking flows). It may be called once per graph.
+func (g *Graph) MaxFlow(s, t int) int {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	total := 0
+	level := make([]int, g.n)
+	iter := make([]int, g.n)
+	queue := make([]int, 0, g.n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = queue[:0]
+		queue = append(queue, s)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, id := range g.heads[u] {
+				e := g.edges[id]
+				if e.cap > 0 && level[e.to] < 0 {
+					level[e.to] = level[u] + 1
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u, limit int) int
+	dfs = func(u, limit int) int {
+		if u == t {
+			return limit
+		}
+		for ; iter[u] < len(g.heads[u]); iter[u]++ {
+			id := g.heads[u][iter[u]]
+			e := &g.edges[id]
+			if e.cap <= 0 || level[e.to] != level[u]+1 {
+				continue
+			}
+			pushed := limit
+			if e.cap < pushed {
+				pushed = e.cap
+			}
+			got := dfs(e.to, pushed)
+			if got > 0 {
+				e.cap -= got
+				g.edges[g.heads[e.to][e.rev]].cap += got
+				return got
+			}
+		}
+		return 0
+	}
+
+	const inf = int(^uint(0) >> 1)
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// BMatching solves the degree-constrained bipartite assignment underlying
+// the d = 1 allocation problem: left vertices (experiments) with capacities
+// leftCap, right vertices (locations) with capacities rightCap, unit edges
+// between every pair. It returns the maximum number of (experiment,
+// location) pairs and the per-left degrees.
+func BMatching(leftCap, rightCap []int) (total int, leftDeg []int) {
+	nl, nr := len(leftCap), len(rightCap)
+	leftDeg = make([]int, nl)
+	if nl == 0 || nr == 0 {
+		return 0, leftDeg
+	}
+	// Vertices: 0 = source, 1..nl = left, nl+1..nl+nr = right, last = sink.
+	g := NewGraph(nl + nr + 2)
+	s, t := 0, nl+nr+1
+	leftEdges := make([]int, nl)
+	for i, c := range leftCap {
+		leftEdges[i] = g.AddEdge(s, 1+i, c)
+	}
+	for j, c := range rightCap {
+		g.AddEdge(1+nl+j, t, c)
+	}
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nr; j++ {
+			g.AddEdge(1+i, 1+nl+j, 1)
+		}
+	}
+	total = g.MaxFlow(s, t)
+	for i := range leftDeg {
+		leftDeg[i] = g.Flow(leftEdges[i])
+	}
+	return total, leftDeg
+}

@@ -1,0 +1,157 @@
+package maxflow
+
+import (
+	"testing"
+
+	"fedshare/internal/stats"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if got := g.MaxFlow(0, 2); got != 3 {
+		t.Errorf("flow = %d, want 3", got)
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS figure: max flow 23.
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Errorf("flow = %d, want 23", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(2, 3, 10)
+	if got := g.MaxFlow(0, 3); got != 0 {
+		t.Errorf("flow = %d, want 0", got)
+	}
+}
+
+func TestEdgeFlowInspection(t *testing.T) {
+	g := NewGraph(4)
+	a := g.AddEdge(0, 1, 2)
+	b := g.AddEdge(0, 2, 2)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 5)
+	if got := g.MaxFlow(0, 3); got != 3 {
+		t.Fatalf("flow = %d, want 3", got)
+	}
+	if g.Flow(a) != 1 || g.Flow(b) != 2 {
+		t.Errorf("edge flows = %d, %d; want 1, 2", g.Flow(a), g.Flow(b))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGraph(0) },
+		func() { NewGraph(2).AddEdge(0, 5, 1) },
+		func() { NewGraph(2).AddEdge(0, 1, -1) },
+		func() { NewGraph(2).MaxFlow(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBMatchingBasics(t *testing.T) {
+	// 2 experiments wanting up to 3 locations each; 3 locations with 1
+	// slot each -> max 3 pairs.
+	total, deg := BMatching([]int{3, 3}, []int{1, 1, 1})
+	if total != 3 {
+		t.Errorf("total = %d, want 3", total)
+	}
+	if deg[0]+deg[1] != 3 {
+		t.Errorf("degrees %v", deg)
+	}
+	// Degenerate inputs.
+	if total, _ := BMatching(nil, []int{1}); total != 0 {
+		t.Error("empty left must be 0")
+	}
+	if total, _ := BMatching([]int{1}, nil); total != 0 {
+		t.Error("empty right must be 0")
+	}
+}
+
+func TestBMatchingAgainstFormula(t *testing.T) {
+	// With uniform unconstrained left caps, max pairs = Σ min(rightCap, m).
+	rng := stats.NewRand(19)
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(6)
+		nr := 1 + rng.Intn(6)
+		left := make([]int, m)
+		for i := range left {
+			left[i] = nr // can use every location once
+		}
+		right := make([]int, nr)
+		want := 0
+		for j := range right {
+			right[j] = 1 + rng.Intn(4)
+			k := right[j]
+			if k > m {
+				k = m
+			}
+			want += k
+		}
+		got, deg := BMatching(left, right)
+		if got != want {
+			t.Fatalf("trial %d: flow %d != formula %d (right=%v)", trial, got, want, right)
+		}
+		sum := 0
+		for _, d := range deg {
+			sum += d
+		}
+		if sum != got {
+			t.Fatalf("trial %d: degrees sum %d != total %d", trial, sum, got)
+		}
+	}
+}
+
+func TestBMatchingCappedLeft(t *testing.T) {
+	// Left caps bind: 3 experiments each capped at 2, 10 abundant slots.
+	total, deg := BMatching([]int{2, 2, 2}, []int{10, 10})
+	// Each experiment can use each location once: cap min(2, 2 locations)=2.
+	if total != 6 {
+		t.Errorf("total = %d, want 6", total)
+	}
+	for i, d := range deg {
+		if d != 2 {
+			t.Errorf("deg[%d] = %d, want 2", i, d)
+		}
+	}
+}
+
+func BenchmarkBMatching50x100(b *testing.B) {
+	left := make([]int, 50)
+	right := make([]int, 100)
+	for i := range left {
+		left[i] = 100
+	}
+	for j := range right {
+		right[j] = 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BMatching(left, right)
+	}
+}

@@ -1,0 +1,89 @@
+package planetlab
+
+import (
+	"fmt"
+
+	"fedshare/internal/sim"
+)
+
+// LeaseManager grants time-limited slices on an authority, expiring them
+// automatically on a discrete-event clock. It models the holding-time
+// dimension of the paper's demand (experiments occupy resources for t, then
+// leave), turning the static authority into the time-multiplexed system the
+// loss-network analysis assumes.
+//
+// LeaseManager drives a single sim.Engine and is not safe for concurrent
+// use; run it from one goroutine (the simulation loop).
+type LeaseManager struct {
+	auth   *Authority
+	engine *sim.Engine
+	active map[string]float64 // slice -> expiry time
+	// Granted and Expired count lease lifecycle events.
+	Granted, Expired int
+}
+
+// NewLeaseManager couples an authority with a simulation engine.
+func NewLeaseManager(a *Authority, e *sim.Engine) *LeaseManager {
+	return &LeaseManager{auth: a, engine: e, active: map[string]float64{}}
+}
+
+// Grant creates the slice and schedules its expiry after duration units of
+// virtual time.
+func (lm *LeaseManager) Grant(spec SliceSpec, duration float64) (*Slice, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("planetlab: lease duration must be positive")
+	}
+	slice, err := lm.auth.CreateSlice(spec)
+	if err != nil {
+		return nil, err
+	}
+	lm.Granted++
+	lm.active[spec.Name] = lm.engine.Now() + duration
+	name := spec.Name
+	lm.engine.Schedule(duration, func() {
+		// The slice may have been renewed or deleted already.
+		exp, ok := lm.active[name]
+		if !ok || exp > lm.engine.Now() {
+			return
+		}
+		delete(lm.active, name)
+		if err := lm.auth.DeleteSlice(name); err == nil {
+			lm.Expired++
+		}
+	})
+	return slice, nil
+}
+
+// Renew extends an active lease by duration from now.
+func (lm *LeaseManager) Renew(name string, duration float64) error {
+	if duration <= 0 {
+		return fmt.Errorf("planetlab: lease duration must be positive")
+	}
+	if _, ok := lm.active[name]; !ok {
+		return fmt.Errorf("planetlab: no active lease for %s", name)
+	}
+	lm.active[name] = lm.engine.Now() + duration
+	lm.engine.Schedule(duration, func() {
+		exp, ok := lm.active[name]
+		if !ok || exp > lm.engine.Now() {
+			return
+		}
+		delete(lm.active, name)
+		if err := lm.auth.DeleteSlice(name); err == nil {
+			lm.Expired++
+		}
+	})
+	return nil
+}
+
+// Release ends a lease early, deleting the slice.
+func (lm *LeaseManager) Release(name string) error {
+	if _, ok := lm.active[name]; !ok {
+		return fmt.Errorf("planetlab: no active lease for %s", name)
+	}
+	delete(lm.active, name)
+	return lm.auth.DeleteSlice(name)
+}
+
+// Active returns the number of live leases.
+func (lm *LeaseManager) Active() int { return len(lm.active) }

@@ -1,0 +1,124 @@
+package planetlab
+
+import (
+	"fmt"
+	"testing"
+
+	"fedshare/internal/sim"
+)
+
+func TestLeaseExpiry(t *testing.T) {
+	a := testAuthority(t, 3, 1, 1)
+	var e sim.Engine
+	lm := NewLeaseManager(a, &e)
+	if _, err := lm.Grant(SliceSpec{Name: "s1", MinSites: 3}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Utilization() != 1 || lm.Active() != 1 {
+		t.Fatalf("post-grant state: util %g active %d", a.Utilization(), lm.Active())
+	}
+	e.Run(4)
+	if lm.Active() != 1 {
+		t.Error("lease should still be live at t=4")
+	}
+	e.Run(6)
+	if lm.Active() != 0 || lm.Expired != 1 {
+		t.Errorf("lease should have expired: active %d expired %d", lm.Active(), lm.Expired)
+	}
+	if a.Utilization() != 0 {
+		t.Errorf("capacity not reclaimed: %g", a.Utilization())
+	}
+}
+
+func TestLeaseRenewal(t *testing.T) {
+	a := testAuthority(t, 2, 1, 1)
+	var e sim.Engine
+	lm := NewLeaseManager(a, &e)
+	if _, err := lm.Grant(SliceSpec{Name: "s", MinSites: 2}, 5); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3)
+	if err := lm.Renew("s", 5); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(6) // past the original expiry, before the renewed one
+	if lm.Active() != 1 {
+		t.Error("renewed lease expired early")
+	}
+	e.Run(9)
+	if lm.Active() != 0 {
+		t.Error("renewed lease should expire at t=8")
+	}
+	if err := lm.Renew("s", 5); err == nil {
+		t.Error("renewing an expired lease must fail")
+	}
+}
+
+func TestLeaseRelease(t *testing.T) {
+	a := testAuthority(t, 2, 1, 1)
+	var e sim.Engine
+	lm := NewLeaseManager(a, &e)
+	if _, err := lm.Grant(SliceSpec{Name: "s", MinSites: 1}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.Release("s"); err != nil {
+		t.Fatal(err)
+	}
+	if a.Utilization() != 0 || lm.Active() != 0 {
+		t.Error("release should free everything")
+	}
+	// The stale expiry event is a no-op.
+	e.Run(20)
+	if lm.Expired != 0 {
+		t.Errorf("released lease counted as expired: %d", lm.Expired)
+	}
+	if err := lm.Release("s"); err == nil {
+		t.Error("double release must fail")
+	}
+}
+
+func TestLeaseValidation(t *testing.T) {
+	a := testAuthority(t, 1, 1, 1)
+	var e sim.Engine
+	lm := NewLeaseManager(a, &e)
+	if _, err := lm.Grant(SliceSpec{Name: "s"}, 0); err == nil {
+		t.Error("zero duration must fail")
+	}
+	if err := lm.Renew("nope", 1); err == nil {
+		t.Error("renewing unknown lease must fail")
+	}
+}
+
+func TestLeaseChurn(t *testing.T) {
+	// Short leases churn through a small facility: capacity must never
+	// oversubscribe and must fully recover.
+	a := testAuthority(t, 2, 1, 2)
+	var e sim.Engine
+	lm := NewLeaseManager(a, &e)
+	granted := 0
+	var tick func(i int)
+	tick = func(i int) {
+		if i >= 20 {
+			return
+		}
+		spec := SliceSpec{Name: fmt.Sprintf("churn%d", i), MinSites: 2}
+		if _, err := lm.Grant(spec, 1.5); err == nil {
+			granted++
+		}
+		e.Schedule(1, func() { tick(i + 1) })
+	}
+	tick(0)
+	e.Run(100)
+	if lm.Active() != 0 {
+		t.Errorf("leases still active after horizon: %d", lm.Active())
+	}
+	if a.Utilization() != 0 {
+		t.Errorf("capacity leaked: %g", a.Utilization())
+	}
+	if granted < 10 {
+		t.Errorf("churn granted only %d leases", granted)
+	}
+	if lm.Expired != granted {
+		t.Errorf("expired %d != granted %d", lm.Expired, granted)
+	}
+}

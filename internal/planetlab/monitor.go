@@ -1,0 +1,151 @@
+package planetlab
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// NodeStatus is one node's instantaneous load, as a CoMon-style monitor
+// (cf. the paper's reference [23]) would report it.
+type NodeStatus struct {
+	SiteID   string
+	NodeID   string
+	Capacity int
+	Slivers  int     // placed slivers
+	Load     float64 // Slivers / Capacity (0 when capacity is 0)
+}
+
+// SiteStatus aggregates one site.
+type SiteStatus struct {
+	SiteID      string
+	Capacity    int
+	Slivers     int
+	Utilization float64
+}
+
+// Snapshot is a point-in-time view of an authority's load.
+type Snapshot struct {
+	Authority string
+	Taken     time.Time
+	Nodes     []NodeStatus
+	Sites     []SiteStatus
+	// Utilization is total slivers / total capacity.
+	Utilization float64
+	// MaxNodeLoad is the busiest node's load — the hot-spot indicator the
+	// fair-share story cares about.
+	MaxNodeLoad float64
+}
+
+// Snapshot captures the authority's current load.
+func (a *Authority) Snapshot() *Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snap := &Snapshot{Authority: a.Name, Taken: time.Now()}
+	totalCap, totalSliv := 0, 0
+	for _, s := range a.sites {
+		siteCap, siteSliv := 0, 0
+		for _, n := range s.Nodes {
+			placed := a.load[nodeKey(s.ID, n.ID)]
+			load := 0.0
+			if n.Capacity > 0 {
+				load = float64(placed) / float64(n.Capacity)
+			}
+			snap.Nodes = append(snap.Nodes, NodeStatus{
+				SiteID: s.ID, NodeID: n.ID,
+				Capacity: n.Capacity, Slivers: placed, Load: load,
+			})
+			if load > snap.MaxNodeLoad {
+				snap.MaxNodeLoad = load
+			}
+			siteCap += n.Capacity
+			siteSliv += placed
+		}
+		util := 0.0
+		if siteCap > 0 {
+			util = float64(siteSliv) / float64(siteCap)
+		}
+		snap.Sites = append(snap.Sites, SiteStatus{
+			SiteID: s.ID, Capacity: siteCap, Slivers: siteSliv, Utilization: util,
+		})
+		totalCap += siteCap
+		totalSliv += siteSliv
+	}
+	if totalCap > 0 {
+		snap.Utilization = float64(totalSliv) / float64(totalCap)
+	}
+	return snap
+}
+
+// Monitor keeps a bounded history of snapshots for trend inspection.
+type Monitor struct {
+	authority *Authority
+	limit     int
+	history   []*Snapshot
+}
+
+// NewMonitor creates a monitor retaining up to limit snapshots (default 64).
+func NewMonitor(a *Authority, limit int) *Monitor {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &Monitor{authority: a, limit: limit}
+}
+
+// Poll takes and stores a snapshot, evicting the oldest beyond the limit.
+// Monitor is not safe for concurrent use; callers poll from one goroutine.
+func (m *Monitor) Poll() *Snapshot {
+	snap := m.authority.Snapshot()
+	m.history = append(m.history, snap)
+	if len(m.history) > m.limit {
+		m.history = m.history[len(m.history)-m.limit:]
+	}
+	return snap
+}
+
+// History returns the retained snapshots, oldest first.
+func (m *Monitor) History() []*Snapshot {
+	return append([]*Snapshot(nil), m.history...)
+}
+
+// PeakUtilization returns the maximum total utilization over the history
+// (0 when empty).
+func (m *Monitor) PeakUtilization() float64 {
+	peak := 0.0
+	for _, s := range m.history {
+		if s.Utilization > peak {
+			peak = s.Utilization
+		}
+	}
+	return peak
+}
+
+// HotSites returns the site IDs whose latest utilization meets or exceeds
+// threshold, sorted by utilization descending.
+func (m *Monitor) HotSites(threshold float64) ([]string, error) {
+	if len(m.history) == 0 {
+		return nil, fmt.Errorf("planetlab: no snapshots polled yet")
+	}
+	latest := m.history[len(m.history)-1]
+	type hot struct {
+		id   string
+		util float64
+	}
+	var hots []hot
+	for _, s := range latest.Sites {
+		if s.Utilization >= threshold {
+			hots = append(hots, hot{s.SiteID, s.Utilization})
+		}
+	}
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].util != hots[j].util {
+			return hots[i].util > hots[j].util
+		}
+		return hots[i].id < hots[j].id
+	})
+	out := make([]string, len(hots))
+	for i, h := range hots {
+		out[i] = h.id
+	}
+	return out, nil
+}

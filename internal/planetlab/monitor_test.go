@@ -1,0 +1,106 @@
+package planetlab
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSnapshotIdle(t *testing.T) {
+	a := testAuthority(t, 2, 2, 3)
+	snap := a.Snapshot()
+	if snap.Authority != "test" {
+		t.Errorf("authority %q", snap.Authority)
+	}
+	if len(snap.Nodes) != 4 || len(snap.Sites) != 2 {
+		t.Errorf("nodes=%d sites=%d", len(snap.Nodes), len(snap.Sites))
+	}
+	if snap.Utilization != 0 || snap.MaxNodeLoad != 0 {
+		t.Errorf("idle snapshot has load: %+v", snap)
+	}
+}
+
+func TestSnapshotUnderLoad(t *testing.T) {
+	a := testAuthority(t, 2, 1, 4)
+	if _, err := a.ReserveSlivers("s1", "site0", 3); err != nil {
+		t.Fatal(err)
+	}
+	snap := a.Snapshot()
+	if snap.Utilization != 3.0/8 {
+		t.Errorf("utilization %g, want 0.375", snap.Utilization)
+	}
+	if snap.MaxNodeLoad != 0.75 {
+		t.Errorf("max node load %g, want 0.75", snap.MaxNodeLoad)
+	}
+	var site0 SiteStatus
+	for _, s := range snap.Sites {
+		if s.SiteID == "site0" {
+			site0 = s
+		}
+	}
+	if site0.Slivers != 3 || site0.Utilization != 0.75 {
+		t.Errorf("site0 = %+v", site0)
+	}
+}
+
+func TestMonitorHistoryAndEviction(t *testing.T) {
+	a := testAuthority(t, 1, 1, 10)
+	m := NewMonitor(a, 3)
+	for i := 0; i < 5; i++ {
+		if _, err := a.ReserveSlivers(fmt.Sprintf("s%d", i), "site0", 1); err != nil {
+			t.Fatal(err)
+		}
+		m.Poll()
+	}
+	hist := m.History()
+	if len(hist) != 3 {
+		t.Fatalf("history length %d, want 3", len(hist))
+	}
+	// Oldest retained is the 3rd poll (3 slivers placed).
+	if hist[0].Utilization != 0.3 {
+		t.Errorf("oldest retained utilization %g, want 0.3", hist[0].Utilization)
+	}
+	if m.PeakUtilization() != 0.5 {
+		t.Errorf("peak %g, want 0.5", m.PeakUtilization())
+	}
+}
+
+func TestHotSites(t *testing.T) {
+	a := testAuthority(t, 3, 1, 2)
+	m := NewMonitor(a, 0)
+	if _, err := m.HotSites(0.5); err == nil {
+		t.Error("no snapshots yet must error")
+	}
+	// Fill site0 fully and site1 half.
+	if _, err := a.ReserveSlivers("s", "site0", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReserveSlivers("s", "site1", 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Poll()
+	hot, err := m.HotSites(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != 2 || hot[0] != "site0" || hot[1] != "site1" {
+		t.Errorf("hot sites = %v", hot)
+	}
+	hot, err = m.HotSites(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hot) != 1 || hot[0] != "site0" {
+		t.Errorf("hot sites at 0.9 = %v", hot)
+	}
+}
+
+func TestDefaultMonitorLimit(t *testing.T) {
+	a := testAuthority(t, 1, 1, 1)
+	m := NewMonitor(a, 0)
+	for i := 0; i < 70; i++ {
+		m.Poll()
+	}
+	if len(m.History()) != 64 {
+		t.Errorf("default limit: %d", len(m.History()))
+	}
+}

@@ -1,0 +1,83 @@
+package sfa
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is a synchronous SFA protocol client. It is safe for concurrent
+// use; calls are serialized over the single connection.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	nextID  uint64
+	timeout time.Duration
+}
+
+// Dial connects to an SFA registry.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("sfa: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn:    conn,
+		r:       bufio.NewReader(conn),
+		w:       bufio.NewWriter(conn),
+		timeout: timeout,
+	}, nil
+}
+
+// Call sends one request and decodes the response into result (which may be
+// nil to discard). Server-side failures come back as errors.
+func (c *Client) Call(method string, params, result interface{}) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := &Envelope{ID: c.nextID, Method: method}
+	if params != nil {
+		req.Params = marshal(params)
+	}
+	deadline := time.Now().Add(c.timeout)
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return fmt.Errorf("sfa: set deadline: %w", err)
+	}
+	if err := WriteFrame(c.w, req); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return fmt.Errorf("sfa: flush: %w", err)
+	}
+	resp, err := ReadFrame(c.r)
+	if err != nil {
+		return fmt.Errorf("sfa: read response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return fmt.Errorf("sfa: response id %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Error != "" {
+		return fmt.Errorf("sfa: remote: %s", resp.Error)
+	}
+	if result != nil {
+		if err := json.Unmarshal(resp.Result, result); err != nil {
+			return fmt.Errorf("sfa: decode result: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}

@@ -1,0 +1,672 @@
+package sfa
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"fedshare/internal/core"
+	"fedshare/internal/economics"
+	"fedshare/internal/planetlab"
+)
+
+// Server is one authority's SFA registry: it serves the wire protocol over
+// TCP, manages peering, embeds federated slices, and computes value shares
+// from the federation's advertised contributions.
+type Server struct {
+	auth   *planetlab.Authority
+	secret []byte
+	demand *economics.Workload
+	logf   func(format string, args ...interface{})
+
+	mu         sync.Mutex
+	record     AuthorityRecord
+	peers      map[string]*peerHandle
+	remoteRefs map[string][]SliverRecord // slice -> slivers held at peers
+	conns      map[net.Conn]struct{}
+	usage      map[string]int // authority -> cumulative slivers served
+	embedded   int            // slices embedded via this registry
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type peerHandle struct {
+	record AuthorityRecord
+	client *Client
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithLogger routes server diagnostics to logf (default: log.Printf).
+func WithLogger(logf func(string, ...interface{})) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// WithDemand sets the demand profile used by GetShares (default: a single
+// measurement-style experiment across the federation).
+func WithDemand(w *economics.Workload) Option {
+	return func(s *Server) { s.demand = w }
+}
+
+// NewServer builds a registry for the given authority. secret is the
+// federation trust root shared among peered authorities.
+func NewServer(auth *planetlab.Authority, secret []byte, opts ...Option) *Server {
+	s := &Server{
+		auth:       auth,
+		secret:     secret,
+		peers:      map[string]*peerHandle{},
+		remoteRefs: map[string][]SliverRecord{},
+		conns:      map[net.Conn]struct{}{},
+		usage:      map[string]int{},
+		logf:       log.Printf,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Start begins listening on addr ("127.0.0.1:0" for an ephemeral port) and
+// serving connections until Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("sfa: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.record = AuthorityRecord{
+		Name:  s.auth.Name,
+		Addr:  ln.Addr().String(),
+		Sites: s.auth.SiteCount(),
+	}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listening address (valid after Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.record.Addr
+}
+
+// Close stops the listener, closes peer connections, and waits for active
+// connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	peers := s.peers
+	s.peers = map[string]*peerHandle{}
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, p := range peers {
+		if p.client != nil {
+			_ = p.client.Close()
+		}
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("sfa[%s]: accept: %v", s.auth.Name, err)
+			}
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
+			return
+		}
+		req, err := ReadFrame(r)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		resp := s.dispatch(req)
+		if err := WriteFrame(w, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Envelope) *Envelope {
+	resp := &Envelope{ID: req.ID}
+	result, err := s.handle(req.Method, req.Params)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.Result = marshal(result)
+	return resp
+}
+
+func (s *Server) handle(method string, params json.RawMessage) (interface{}, error) {
+	switch method {
+	case MethodPing:
+		return Empty{}, nil
+	case MethodGetRecord:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		rec := s.record
+		rec.Sites = s.auth.SiteCount()
+		return rec, nil
+	case MethodListResources:
+		return s.listResources(), nil
+	case MethodPeer:
+		var p PeerRequest
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad peer request: %w", err)
+		}
+		return s.handlePeer(p)
+	case MethodCreateSlice:
+		var p SliceRequest
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad slice request: %w", err)
+		}
+		return s.handleCreateSlice(p)
+	case MethodDeleteSlice:
+		var p DeleteRequest
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad delete request: %w", err)
+		}
+		return s.handleDeleteSlice(p)
+	case MethodReserve:
+		var p ReserveRequest
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad reserve request: %w", err)
+		}
+		return s.handleReserve(p)
+	case MethodRelease:
+		var p ReleaseRequest
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad release request: %w", err)
+		}
+		return s.handleRelease(p)
+	case MethodGetShares:
+		var p SharesRequest
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad shares request: %w", err)
+		}
+		return s.handleShares(p)
+	case MethodGetUsage:
+		return s.handleUsage(), nil
+	}
+	return nil, fmt.Errorf("unknown method %q", method)
+}
+
+func (s *Server) verify(c Credential) error {
+	return c.Verify(s.secret, time.Now())
+}
+
+func (s *Server) listResources() ResourceList {
+	out := ResourceList{Authority: s.auth.Name}
+	for _, site := range s.auth.Sites() {
+		out.Sites = append(out.Sites, SiteResource{
+			SiteID:   site.ID,
+			Name:     site.Name,
+			Nodes:    len(site.Nodes),
+			Capacity: site.Capacity(),
+			Free:     s.auth.SiteFree(site.ID),
+		})
+	}
+	return out
+}
+
+// handlePeer records the caller as a peer and connects back to it.
+func (s *Server) handlePeer(p PeerRequest) (*PeerResponse, error) {
+	if err := s.verify(p.Credential); err != nil {
+		return nil, err
+	}
+	if p.Record.Name == s.auth.Name {
+		return nil, fmt.Errorf("cannot peer with self")
+	}
+	client, err := Dial(p.Record.Addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("peer back-dial: %w", err)
+	}
+	s.mu.Lock()
+	if old, ok := s.peers[p.Record.Name]; ok && old.client != nil {
+		_ = old.client.Close()
+	}
+	s.peers[p.Record.Name] = &peerHandle{record: p.Record, client: client}
+	rec := s.record
+	rec.Sites = s.auth.SiteCount()
+	s.mu.Unlock()
+	s.logf("sfa[%s]: peered with %s (%s)", s.auth.Name, p.Record.Name, p.Record.Addr)
+	return &PeerResponse{Record: rec}, nil
+}
+
+// handleReserve places slivers locally for a remote federated slice.
+func (s *Server) handleReserve(p ReserveRequest) (*ReserveResponse, error) {
+	if err := s.verify(p.Credential); err != nil {
+		return nil, err
+	}
+	if p.Sites <= 0 || p.PerSite <= 0 {
+		return nil, fmt.Errorf("reserve needs positive sites and per-site counts")
+	}
+	candidates := s.auth.AvailableSites(p.PerSite)
+	if len(candidates) > p.Sites {
+		candidates = candidates[:p.Sites]
+	}
+	var placed []planetlab.Sliver
+	for _, siteID := range candidates {
+		svs, err := s.auth.ReserveSlivers(p.SliceName, siteID, p.PerSite)
+		if err != nil {
+			continue // another request raced us; skip the site
+		}
+		placed = append(placed, svs...)
+	}
+	resp := &ReserveResponse{}
+	for _, sv := range placed {
+		resp.Slivers = append(resp.Slivers, SliverRecord{
+			Authority: s.auth.Name, SiteID: sv.SiteID, NodeID: sv.NodeID,
+		})
+	}
+	return resp, nil
+}
+
+// handleRelease frees locally held slivers of a federated slice.
+func (s *Server) handleRelease(p ReleaseRequest) (*Empty, error) {
+	if err := s.verify(p.Credential); err != nil {
+		return nil, err
+	}
+	var svs []planetlab.Sliver
+	for _, rec := range p.Slivers {
+		if rec.Authority != s.auth.Name {
+			continue
+		}
+		svs = append(svs, planetlab.Sliver{
+			SliceName: p.SliceName, SiteID: rec.SiteID, NodeID: rec.NodeID,
+		})
+	}
+	s.auth.ReleaseSlivers(svs)
+	return &Empty{}, nil
+}
+
+// handleCreateSlice embeds a slice across the federation: local sites first,
+// then peers until the diversity threshold is met.
+func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
+	if err := s.verify(p.Credential); err != nil {
+		return nil, err
+	}
+	per := p.SliversPerSite
+	if per <= 0 {
+		per = 1
+	}
+	spec := planetlab.SliceSpec{
+		Name: p.Name, Owner: p.Owner,
+		MinSites: 0, MaxSites: p.MaxSites, SliversPerSite: per,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if p.MinSites < 0 {
+		return nil, fmt.Errorf("negative min_sites")
+	}
+	if _, exists := s.auth.GetSlice(p.Name); exists {
+		return nil, fmt.Errorf("slice %s already exists", p.Name)
+	}
+
+	maxSites := p.MaxSites
+	var localSlivers []planetlab.Sliver
+	var remote []SliverRecord
+	sitesGot := 0
+
+	abort := func() {
+		s.auth.ReleaseSlivers(localSlivers)
+		s.releaseRemote(p.Name, remote)
+	}
+
+	// Local placement first.
+	for _, siteID := range s.auth.AvailableSites(per) {
+		if maxSites > 0 && sitesGot >= maxSites {
+			break
+		}
+		svs, err := s.auth.ReserveSlivers(p.Name, siteID, per)
+		if err != nil {
+			continue
+		}
+		localSlivers = append(localSlivers, svs...)
+		sitesGot++
+	}
+
+	// Peers, in deterministic order, until the threshold (and max) is met.
+	cred := IssueCredential(s.secret, s.auth.Name, s.auth.Name, time.Minute)
+	for _, ph := range s.peerList() {
+		need := 1 << 20 // effectively unbounded
+		if maxSites > 0 {
+			need = maxSites - sitesGot
+			if need <= 0 {
+				break
+			}
+		}
+		var rr ReserveResponse
+		err := ph.client.Call(MethodReserve, ReserveRequest{
+			Credential: cred, SliceName: p.Name, Sites: need, PerSite: per,
+		}, &rr)
+		if err != nil {
+			s.logf("sfa[%s]: reserve at %s failed: %v", s.auth.Name, ph.record.Name, err)
+			continue
+		}
+		siteSeen := map[string]bool{}
+		for _, sv := range rr.Slivers {
+			if !siteSeen[sv.SiteID] {
+				siteSeen[sv.SiteID] = true
+				sitesGot++
+			}
+		}
+		remote = append(remote, rr.Slivers...)
+	}
+
+	if sitesGot < p.MinSites {
+		abort()
+		return nil, fmt.Errorf("federation can offer %d sites, slice needs %d", sitesGot, p.MinSites)
+	}
+
+	slice := &planetlab.Slice{
+		Spec:    planetlab.SliceSpec{Name: p.Name, Owner: p.Owner, MinSites: p.MinSites, MaxSites: p.MaxSites, SliversPerSite: per},
+		Slivers: localSlivers,
+	}
+	if err := s.auth.AdoptSlice(slice); err != nil {
+		abort()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.remoteRefs[p.Name] = remote
+	s.embedded++
+	s.usage[s.auth.Name] += len(localSlivers)
+	for _, sv := range remote {
+		s.usage[sv.Authority]++
+	}
+	s.mu.Unlock()
+
+	resp := &SliceResponse{Name: p.Name, Sites: sitesGot}
+	for _, sv := range localSlivers {
+		resp.Slivers = append(resp.Slivers, SliverRecord{
+			Authority: s.auth.Name, SiteID: sv.SiteID, NodeID: sv.NodeID,
+		})
+	}
+	resp.Slivers = append(resp.Slivers, remote...)
+	return resp, nil
+}
+
+func (s *Server) handleDeleteSlice(p DeleteRequest) (*Empty, error) {
+	if err := s.verify(p.Credential); err != nil {
+		return nil, err
+	}
+	if err := s.auth.DeleteSlice(p.Name); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	remote := s.remoteRefs[p.Name]
+	delete(s.remoteRefs, p.Name)
+	s.mu.Unlock()
+	s.releaseRemote(p.Name, remote)
+	return &Empty{}, nil
+}
+
+// releaseRemote frees slivers held at peers, grouped per authority.
+func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
+	if len(slivers) == 0 {
+		return
+	}
+	byPeer := map[string][]SliverRecord{}
+	for _, sv := range slivers {
+		byPeer[sv.Authority] = append(byPeer[sv.Authority], sv)
+	}
+	cred := IssueCredential(s.secret, s.auth.Name, s.auth.Name, time.Minute)
+	for name, svs := range byPeer {
+		s.mu.Lock()
+		ph := s.peers[name]
+		s.mu.Unlock()
+		if ph == nil {
+			s.logf("sfa[%s]: cannot release %d slivers at unknown peer %s", s.auth.Name, len(svs), name)
+			continue
+		}
+		if err := ph.client.Call(MethodRelease, ReleaseRequest{
+			Credential: cred, SliceName: sliceName, Slivers: svs,
+		}, nil); err != nil {
+			s.logf("sfa[%s]: release at %s: %v", s.auth.Name, name, err)
+		}
+	}
+}
+
+// peerList snapshots peers sorted by name for deterministic embedding.
+func (s *Server) peerList() []*peerHandle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.peers))
+	for n := range s.peers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*peerHandle, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.peers[n])
+	}
+	return out
+}
+
+// handleShares builds the federation's economic model from its own and its
+// peers' advertised resources and computes value shares under the requested
+// policy — the paper's method exposed as a network service.
+func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
+	type contribution struct {
+		name     string
+		sites    int
+		capacity float64 // per-site
+	}
+	var contribs []contribution
+
+	// Own contribution.
+	own := s.listResources()
+	ownSites := len(own.Sites)
+	ownCap := 0.0
+	for _, site := range own.Sites {
+		ownCap += float64(site.Capacity)
+	}
+	perSite := 0.0
+	if ownSites > 0 {
+		perSite = ownCap / float64(ownSites)
+	}
+	contribs = append(contribs, contribution{s.auth.Name, ownSites, perSite})
+
+	// Peers' advertised resources.
+	for _, ph := range s.peerList() {
+		var rl ResourceList
+		if err := ph.client.Call(MethodListResources, Empty{}, &rl); err != nil {
+			return nil, fmt.Errorf("list resources at %s: %w", ph.record.Name, err)
+		}
+		sites := len(rl.Sites)
+		capTotal := 0.0
+		for _, site := range rl.Sites {
+			capTotal += float64(site.Capacity)
+		}
+		per := 0.0
+		if sites > 0 {
+			per = capTotal / float64(sites)
+		}
+		contribs = append(contribs, contribution{rl.Authority, sites, per})
+	}
+	sort.Slice(contribs, func(i, j int) bool { return contribs[i].name < contribs[j].name })
+
+	facilities := make([]core.Facility, len(contribs))
+	for i, c := range contribs {
+		facilities[i] = core.Facility{Name: c.name, Locations: c.sites, Resources: c.capacity}
+	}
+	demand := s.demand
+	if demand == nil {
+		// Default profile: one diversity-hungry experiment spanning half
+		// the federation's sites.
+		total := 0
+		for _, c := range contribs {
+			total += c.sites
+		}
+		wl, err := economics.NewWorkload(economics.DemandClass{
+			Type: economics.ExperimentType{
+				Name: "default", MinLocations: float64(total) / 2,
+				MaxLocations: math.Inf(1), Resources: 1, HoldingTime: 1, Shape: 1,
+			},
+			Count: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		demand = wl
+	}
+	model, err := core.NewModel(facilities, demand)
+	if err != nil {
+		return nil, err
+	}
+	var pol core.Policy
+	switch p.Policy {
+	case "", "shapley":
+		pol = core.ShapleyPolicy{}
+	case "proportional":
+		pol = core.ProportionalPolicy{}
+	case "consumption":
+		pol = core.ConsumptionPolicy{}
+	case "equal":
+		pol = core.EqualPolicy{}
+	case "nucleolus":
+		pol = core.NucleolusPolicy{}
+	case "banzhaf":
+		pol = core.BanzhafPolicy{}
+	default:
+		return nil, fmt.Errorf("unknown policy %q", p.Policy)
+	}
+	sharesVec, err := pol.Shares(model)
+	if err != nil {
+		return nil, err
+	}
+	resp := &SharesResponse{
+		Policy:     pol.Name(),
+		GrandValue: model.GrandValue(),
+		Shares:     map[string]float64{},
+	}
+	for i, c := range contribs {
+		resp.Shares[c.name] = sharesVec[i]
+	}
+	return resp, nil
+}
+
+// handleUsage reports cumulative served slivers and the measured
+// consumption shares they imply.
+func (s *Server) handleUsage() *UsageResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := &UsageResponse{
+		Authority:         s.auth.Name,
+		CumulativeSlivers: map[string]int{},
+		MeasuredShares:    map[string]float64{},
+		SlicesEmbedded:    s.embedded,
+	}
+	total := 0
+	for name, n := range s.usage {
+		resp.CumulativeSlivers[name] = n
+		total += n
+	}
+	if total > 0 {
+		for name, n := range s.usage {
+			resp.MeasuredShares[name] = float64(n) / float64(total)
+		}
+	}
+	return resp
+}
+
+// PeerWith initiates peering with a remote registry at addr: it dials,
+// introduces itself, and records the remote as a peer, so federation flows
+// both ways after the remote's back-dial.
+func (s *Server) PeerWith(addr string) error {
+	client, err := Dial(addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	rec := s.record
+	rec.Sites = s.auth.SiteCount()
+	s.mu.Unlock()
+	cred := IssueCredential(s.secret, s.auth.Name, s.auth.Name, time.Minute)
+	var resp PeerResponse
+	if err := client.Call(MethodPeer, PeerRequest{Record: rec, Credential: cred}, &resp); err != nil {
+		_ = client.Close()
+		return err
+	}
+	s.mu.Lock()
+	if old, ok := s.peers[resp.Record.Name]; ok && old.client != nil {
+		_ = old.client.Close()
+	}
+	s.peers[resp.Record.Name] = &peerHandle{record: resp.Record, client: client}
+	s.mu.Unlock()
+	s.logf("sfa[%s]: peered with %s (%s)", s.auth.Name, resp.Record.Name, resp.Record.Addr)
+	return nil
+}
+
+// Peers returns the names of current peers.
+func (s *Server) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for n := range s.peers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

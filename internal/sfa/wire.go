@@ -1,0 +1,212 @@
+// Package sfa implements a small Slice-based Federation Architecture
+// substrate (Sec. 3.2.2 mentions SFA as PlanetLab's federation plane):
+// regional authorities run registry servers that exchange credentials and
+// resource records over TCP, peer with each other, embed slices across the
+// federation, and expose the policy-computed value shares.
+//
+// The wire format is deliberately simple and fully self-contained:
+// length-prefixed JSON frames carrying request/response envelopes.
+package sfa
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single message to keep a misbehaving peer from
+// forcing unbounded allocations.
+const MaxFrameSize = 4 << 20
+
+// Envelope is one framed message: a request (Method set) or a response
+// (Error or Result set), matched by ID.
+type Envelope struct {
+	ID     uint64          `json:"id"`
+	Method string          `json:"method,omitempty"`
+	Params json.RawMessage `json:"params,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// WriteFrame writes one length-prefixed JSON frame.
+func WriteFrame(w io.Writer, env *Envelope) error {
+	payload, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("sfa: encode: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("sfa: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("sfa: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("sfa: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed JSON frame.
+func ReadFrame(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // preserve io.EOF for clean shutdown detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("sfa: incoming frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("sfa: read payload: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("sfa: decode: %w", err)
+	}
+	return &env, nil
+}
+
+// marshal encodes params/results, panicking only on programmer error
+// (unencodable types).
+func marshal(v interface{}) json.RawMessage {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("sfa: marshal: %v", err))
+	}
+	return b
+}
+
+// --- Method names ---
+
+// Protocol methods.
+const (
+	MethodPing          = "sfa.Ping"
+	MethodGetRecord     = "sfa.GetRecord"
+	MethodListResources = "sfa.ListResources"
+	MethodPeer          = "sfa.Peer"
+	MethodCreateSlice   = "sfa.CreateSlice"
+	MethodDeleteSlice   = "sfa.DeleteSlice"
+	MethodReserve       = "sfa.Reserve"
+	MethodRelease       = "sfa.Release"
+	MethodGetShares     = "sfa.GetShares"
+	MethodGetUsage      = "sfa.GetUsage"
+)
+
+// --- Message payloads ---
+
+// AuthorityRecord describes an authority in the registry.
+type AuthorityRecord struct {
+	Name  string `json:"name"`
+	Addr  string `json:"addr"`
+	Sites int    `json:"sites"`
+}
+
+// SiteResource is one advertised site.
+type SiteResource struct {
+	SiteID   string `json:"site_id"`
+	Name     string `json:"name"`
+	Nodes    int    `json:"nodes"`
+	Capacity int    `json:"capacity"` // total sliver slots
+	Free     int    `json:"free"`     // currently unreserved slots
+}
+
+// ResourceList is the RSpec-like resource advertisement.
+type ResourceList struct {
+	Authority string         `json:"authority"`
+	Sites     []SiteResource `json:"sites"`
+}
+
+// PeerRequest initiates (or refreshes) a peering between authorities: the
+// caller introduces itself and presents a credential signed with the shared
+// federation secret.
+type PeerRequest struct {
+	Record     AuthorityRecord `json:"record"`
+	Credential Credential      `json:"credential"`
+}
+
+// PeerResponse returns the callee's record.
+type PeerResponse struct {
+	Record AuthorityRecord `json:"record"`
+}
+
+// SliceRequest asks for a federated slice.
+type SliceRequest struct {
+	Credential     Credential `json:"credential"`
+	Name           string     `json:"name"`
+	Owner          string     `json:"owner"`
+	MinSites       int        `json:"min_sites"`
+	MaxSites       int        `json:"max_sites"`
+	SliversPerSite int        `json:"slivers_per_site"`
+}
+
+// SliverRecord is one placed sliver.
+type SliverRecord struct {
+	Authority string `json:"authority"`
+	SiteID    string `json:"site_id"`
+	NodeID    string `json:"node_id"`
+}
+
+// SliceResponse reports a deployed slice.
+type SliceResponse struct {
+	Name    string         `json:"name"`
+	Slivers []SliverRecord `json:"slivers"`
+	Sites   int            `json:"sites"`
+}
+
+// ReserveRequest asks a peer to place slivers locally on behalf of a
+// federated slice.
+type ReserveRequest struct {
+	Credential Credential `json:"credential"`
+	SliceName  string     `json:"slice_name"`
+	Sites      int        `json:"sites"` // how many distinct sites
+	PerSite    int        `json:"per"`   // slivers per site
+}
+
+// ReserveResponse returns the placed slivers.
+type ReserveResponse struct {
+	Slivers []SliverRecord `json:"slivers"`
+}
+
+// ReleaseRequest frees previously reserved slivers.
+type ReleaseRequest struct {
+	Credential Credential     `json:"credential"`
+	SliceName  string         `json:"slice_name"`
+	Slivers    []SliverRecord `json:"slivers"`
+}
+
+// SharesRequest asks the authority for the federation value shares it has
+// computed from the advertised contributions and its demand profile.
+type SharesRequest struct {
+	Policy string `json:"policy"` // "shapley", "proportional", ...
+}
+
+// SharesResponse maps authority names to normalized shares.
+type SharesResponse struct {
+	Policy     string             `json:"policy"`
+	GrandValue float64            `json:"grand_value"`
+	Shares     map[string]float64 `json:"shares"`
+}
+
+// UsageResponse reports the cumulative slivers each authority has served
+// for slices embedded via this registry, plus the resulting measured
+// (consumption-based) shares — the ρ̂ of eq. (7) computed from observed
+// usage instead of a demand model.
+type UsageResponse struct {
+	Authority         string             `json:"authority"`
+	CumulativeSlivers map[string]int     `json:"cumulative_slivers"`
+	MeasuredShares    map[string]float64 `json:"measured_shares"`
+	SlicesEmbedded    int                `json:"slices_embedded"`
+}
+
+// DeleteRequest removes a slice.
+type DeleteRequest struct {
+	Credential Credential `json:"credential"`
+	Name       string     `json:"name"`
+}
+
+// Empty is a no-payload result.
+type Empty struct{}

@@ -1,0 +1,86 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual
+// clock and a time-ordered event queue. The loss-network simulator and the
+// PlanetLab substrate are built on it.
+package sim
+
+import "container/heap"
+
+// Engine drives a simulation: events are scheduled at absolute or relative
+// virtual times and executed in time order (FIFO among equal timestamps).
+// The zero value is ready to use.
+type Engine struct {
+	now    float64
+	seq    int
+	events eventHeap
+}
+
+type event struct {
+	time float64
+	seq  int
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule queues fn to run after delay (>= 0) units of virtual time.
+// Negative delays panic: scheduling into the past is always a model bug.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At queues fn at absolute virtual time t (>= Now).
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic("sim: scheduling into the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events in order until the queue is empty or the next event
+// lies beyond until; the clock finishes at the last executed event's time
+// (or until, whichever the caller observes via Now and the return value).
+// It returns the number of events executed.
+func (e *Engine) Run(until float64) int {
+	count := 0
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.time > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.time
+		next.fn()
+		count++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return count
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

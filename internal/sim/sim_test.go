@@ -1,0 +1,101 @@
+package sim
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	n := e.Run(10)
+	if n != 3 {
+		t.Errorf("ran %d events", n)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %g, want 10", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run(2)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("equal-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	e.Run(100)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}
+
+func TestRunHorizonStopsEarly(t *testing.T) {
+	var e Engine
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	e.Run(3)
+	if ran {
+		t.Error("event beyond horizon must not run")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %g, want 3", e.Now())
+	}
+	// Continue past it.
+	e.Run(6)
+	if !ran {
+		t.Error("event should run on extended horizon")
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay must panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestAtPanicsOnPast(t *testing.T) {
+	var e Engine
+	e.Schedule(2, func() {})
+	e.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past must panic")
+		}
+	}()
+	e.At(1, func() {})
+}
