@@ -312,6 +312,53 @@ func BenchmarkFigMarket(b *testing.B) {
 	}
 }
 
+// shapleyBenchTable builds the n-player random Table game shared by the
+// kernel-vs-legacy Shapley benchmarks.
+func shapleyBenchTable(b *testing.B, n int) *coalition.Table {
+	b.Helper()
+	rng := stats.NewRand(2024)
+	vals := make([]float64, 1<<uint(n))
+	for i := 1; i < len(vals); i++ {
+		vals[i] = rng.Float64() * 100
+	}
+	g, err := coalition.NewTable(n, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkShapleyLegacy measures the pre-kernel path: n independent
+// per-player subset enumerations through the Game interface.
+func BenchmarkShapleyLegacy(b *testing.B) {
+	g := shapleyBenchTable(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coalition.ShapleyLegacy(g)
+	}
+}
+
+// BenchmarkShapleyKernel measures the batched coalition-lattice kernel:
+// one sequential sweep over the dense value table yielding Shapley and
+// Banzhaf together.
+func BenchmarkShapleyKernel(b *testing.B) {
+	g := shapleyBenchTable(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coalition.BatchedValues(g)
+	}
+}
+
+// BenchmarkShapleyKernelParallel shards the sweep over GOMAXPROCS workers
+// (coalition-range parallelism, not per-player).
+func BenchmarkShapleyKernelParallel(b *testing.B) {
+	g := shapleyBenchTable(b, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coalition.BatchedValuesParallel(g, 0)
+	}
+}
+
 // BenchmarkLossNetworkShapley prices facilities by simulated loss-network
 // value rates (the paper's Paschalidis–Liu future-work direction): one
 // simulation per coalition, Shapley on top.

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"fedshare/internal/asciichart"
 	"fedshare/internal/core"
@@ -29,7 +30,14 @@ func main() {
 	weights := flag.Bool("weights", false, "print the offline Shapley weight table (Sec. 3.2.3 workflow)")
 	width := flag.Int("width", 72, "chart width")
 	height := flag.Int("height", 20, "chart height")
+	workers := flag.Int("workers", 0, "parallel workers for the coalition kernel (0 = all cores)")
 	flag.Parse()
+
+	// The coalition engine (SnapshotParallel / BatchedValuesParallel) sizes
+	// its worker pools from GOMAXPROCS; -workers bounds both.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	switch {
 	case *diagram:

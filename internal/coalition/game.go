@@ -66,18 +66,20 @@ func (t *Table) Value(s combin.Set) float64 { return t.Values[s] }
 
 // Cache memoizes a Game's characteristic function. For up to 24 players it
 // materializes values lazily into a dense array; beyond that it uses a map.
-// Cache is not safe for concurrent use.
+// Cache is not safe for concurrent use; use SafeCache when the game must
+// serve concurrent Value calls.
 type Cache struct {
 	inner Game
 	dense []float64
 	seen  []bool
 	m     map[combin.Set]float64
+	evals int
 }
 
 // NewCache wraps g with memoization.
 func NewCache(g Game) *Cache {
 	c := &Cache{inner: g}
-	if g.N() <= 24 {
+	if g.N() <= snapshotMaxPlayers {
 		size := 1 << uint(g.N())
 		c.dense = make([]float64, size)
 		c.seen = make([]bool, size)
@@ -96,6 +98,7 @@ func (c *Cache) Value(s combin.Set) float64 {
 		if !c.seen[s] {
 			c.dense[s] = c.inner.Value(s)
 			c.seen[s] = true
+			c.evals++
 		}
 		return c.dense[s]
 	}
@@ -104,22 +107,14 @@ func (c *Cache) Value(s combin.Set) float64 {
 	}
 	v := c.inner.Value(s)
 	c.m[s] = v
+	c.evals++
 	return v
 }
 
 // Evaluations reports how many distinct coalitions have been evaluated.
-func (c *Cache) Evaluations() int {
-	if c.dense != nil {
-		n := 0
-		for _, s := range c.seen {
-			if s {
-				n++
-			}
-		}
-		return n
-	}
-	return len(c.m)
-}
+// It is O(1): a counter maintained on each miss, rather than a scan of the
+// 2^n seen-bitmap.
+func (c *Cache) Evaluations() int { return c.evals }
 
 // Grand returns the grand coalition of g.
 func Grand(g Game) combin.Set { return combin.Full(g.N()) }

@@ -1,0 +1,149 @@
+package coalition
+
+import (
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// snapshotMaxPlayers bounds the games whose characteristic function can be
+// materialized into a dense Table (8 bytes per coalition: 24 players is a
+// 128 MiB table).
+const snapshotMaxPlayers = 24
+
+// Batched is the result of one coalition-lattice sweep: the exact Shapley
+// and Banzhaf values of every player, computed together from a single pass
+// over the 2^n coalition values.
+type Batched struct {
+	Shapley []float64
+	Banzhaf []float64
+}
+
+// BatchedValues computes the exact Shapley and Banzhaf values of every
+// player in one sequential sweep over the coalition lattice of a Table
+// game.
+//
+// Instead of the classic n independent subset enumerations (one per
+// player, each walking 2^(n-1) coalitions through the Game interface), the
+// kernel scans the dense value table linearly once: for every coalition T
+// and every member i ∈ T it accumulates the marginal contribution
+// V(T) − V(T\{i}) into per-player Shapley and Banzhaf accumulators. The
+// total work is the same Θ(n·2^n) additions, but all reads are direct
+// []float64 indexing — no interface dispatch, no per-player re-walk of the
+// lattice, and the V(T) operand streams through the cache.
+func BatchedValues(t *Table) Batched {
+	n := t.Players
+	res := Batched{Shapley: make([]float64, n), Banzhaf: make([]float64, n)}
+	if n == 0 {
+		return res
+	}
+	sweepRange(t.Values, shapleyWeights(n), 1, uint64(len(t.Values)), res.Shapley, res.Banzhaf)
+	scaleBanzhaf(res.Banzhaf, n)
+	return res
+}
+
+// BatchedValuesParallel is BatchedValues with the coalition range sharded
+// across workers (0 means GOMAXPROCS). Each worker sweeps a contiguous
+// block of the lattice into private per-player accumulators, which are
+// reduced in worker order afterwards — so the result is deterministic for
+// a fixed worker count, and the worker count scales with the 2^n coalition
+// range rather than being capped at n players.
+func BatchedValuesParallel(t *Table, workers int) Batched {
+	n := t.Players
+	res := Batched{Shapley: make([]float64, n), Banzhaf: make([]float64, n)}
+	if n == 0 {
+		return res
+	}
+	size := uint64(len(t.Values))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Below ~2^12 coalitions per worker the spawn cost dominates the sweep.
+	if maxW := int(size >> 12); workers > maxW {
+		workers = max(1, maxW)
+	}
+	if workers == 1 {
+		sweepRange(t.Values, shapleyWeights(n), 1, size, res.Shapley, res.Banzhaf)
+		scaleBanzhaf(res.Banzhaf, n)
+		return res
+	}
+	w := shapleyWeights(n)
+	partials := make([]Batched, workers)
+	chunk := (size + uint64(workers) - 1) / uint64(workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo := uint64(k) * chunk
+		hi := min(lo+chunk, size)
+		if lo >= hi {
+			continue
+		}
+		partials[k] = Batched{Shapley: make([]float64, n), Banzhaf: make([]float64, n)}
+		wg.Add(1)
+		go func(p Batched, lo, hi uint64) {
+			defer wg.Done()
+			sweepRange(t.Values, w, lo, hi, p.Shapley, p.Banzhaf)
+		}(partials[k], lo, hi)
+	}
+	wg.Wait()
+	for _, p := range partials {
+		if p.Shapley == nil {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			res.Shapley[i] += p.Shapley[i]
+			res.Banzhaf[i] += p.Banzhaf[i]
+		}
+	}
+	scaleBanzhaf(res.Banzhaf, n)
+	return res
+}
+
+// sweepRange walks coalitions T in [lo, hi) and, for every member i of T,
+// adds the marginal contribution V(T) − V(T\{i}) into banz[i] and its
+// Shapley-weighted form into shap[i]. Summed over the full lattice this is
+// exactly φ_i = Σ_{S ⊆ N\{i}} w[|S|]·(V(S∪{i}) − V(S)) with T = S∪{i}.
+func sweepRange(values, w []float64, lo, hi uint64, shap, banz []float64) {
+	if lo == 0 {
+		lo = 1 // the empty coalition has no members
+	}
+	for m := lo; m < hi; m++ {
+		vT := values[m]
+		wt := w[bits.OnesCount64(m)-1]
+		for rest := m; rest != 0; rest &= rest - 1 {
+			i := bits.TrailingZeros64(rest)
+			marg := vT - values[m&^(1<<uint(i))]
+			shap[i] += wt * marg
+			banz[i] += marg
+		}
+	}
+}
+
+// scaleBanzhaf applies the 2^{-(n-1)} normalization of the Banzhaf value.
+func scaleBanzhaf(banz []float64, n int) {
+	norm := math.Exp2(-float64(n - 1))
+	for i := range banz {
+		banz[i] *= norm
+	}
+}
+
+// tableFor returns the dense value table of g, materializing one when g is
+// small enough. workers > 1 requires g to be safe for concurrent Value
+// calls. The second return is false when g cannot be snapshotted (too many
+// players, or a characteristic function violating V(∅) = 0).
+func tableFor(g Game, workers int) (*Table, bool) {
+	if t, ok := g.(*Table); ok {
+		return t, true
+	}
+	if g.N() > snapshotMaxPlayers {
+		return nil, false
+	}
+	var t *Table
+	var err error
+	if workers > 1 {
+		t, err = SnapshotParallel(g, workers)
+	} else {
+		t, err = Snapshot(g)
+	}
+	return t, err == nil
+}

@@ -1,0 +1,216 @@
+package coalition
+
+import (
+	"math"
+	"testing"
+
+	"fedshare/internal/combin"
+	"fedshare/internal/stats"
+)
+
+// randomTable builds a random n-player Table game (V(∅) = 0, values in
+// [-50, 50) so games are generally non-monotone).
+func randomTable(t *testing.T, n int, rng *stats.Rand) *Table {
+	t.Helper()
+	vals := make([]float64, 1<<uint(n))
+	for i := 1; i < len(vals); i++ {
+		vals[i] = rng.Float64()*100 - 50
+	}
+	g, err := NewTable(n, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBatchedValuesMatchesOracles(t *testing.T) {
+	rng := stats.NewRand(1729)
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		g := randomTable(t, n, rng)
+		res := BatchedValues(g)
+		almostEqualVec(t, res.Shapley, ShapleyLegacy(g), 1e-9, "kernel vs legacy Shapley")
+		almostEqualVec(t, res.Shapley, ShapleyByPermutation(g), 1e-9, "kernel vs permutation oracle")
+		almostEqualVec(t, res.Banzhaf, BanzhafLegacy(g), 1e-9, "kernel vs legacy Banzhaf")
+	}
+}
+
+func TestBatchedValuesDispatch(t *testing.T) {
+	// The public Shapley/Banzhaf entry points must route Table games
+	// through the kernel and still agree with the oracles.
+	rng := stats.NewRand(99)
+	g := randomTable(t, 6, rng)
+	almostEqualVec(t, Shapley(g), ShapleyByPermutation(g), 1e-9, "dispatched Shapley")
+	almostEqualVec(t, Banzhaf(g), BanzhafLegacy(g), 1e-9, "dispatched Banzhaf")
+}
+
+func TestBatchedValuesEdgeCases(t *testing.T) {
+	// n = 0: empty (but allocated) result vectors.
+	empty, err := NewTable(0, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := BatchedValues(empty)
+	if len(res.Shapley) != 0 || len(res.Banzhaf) != 0 {
+		t.Errorf("n=0 kernel returned %v", res)
+	}
+	if got := Shapley(empty); got != nil {
+		t.Errorf("Shapley(n=0) = %v, want nil", got)
+	}
+
+	// n = 1: the lone player gets V({0}) under both indices.
+	single, err := NewTable(1, []float64{0, 7.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = BatchedValues(single)
+	if res.Shapley[0] != 7.5 || res.Banzhaf[0] != 7.5 {
+		t.Errorf("n=1 kernel returned %+v, want 7.5/7.5", res)
+	}
+
+	// A non-monotone game: adding player 1 destroys value.
+	nonMono, err := NewTable(2, []float64{0, 10, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = BatchedValues(nonMono)
+	almostEqualVec(t, res.Shapley, ShapleyByPermutation(nonMono), 1e-12, "non-monotone Shapley")
+	if res.Shapley[1] >= 0 {
+		t.Errorf("player 1 destroys value, φ_1 = %g should be negative", res.Shapley[1])
+	}
+	almostEqualVec(t, res.Banzhaf, BanzhafLegacy(nonMono), 1e-12, "non-monotone Banzhaf")
+}
+
+func TestBatchedValuesParallelMatchesSequential(t *testing.T) {
+	rng := stats.NewRand(7)
+	for _, n := range []int{1, 2, 5, 9, 13} {
+		g := randomTable(t, n, rng)
+		want := BatchedValues(g)
+		for _, workers := range []int{0, 1, 2, 3, 8, 33} {
+			got := BatchedValuesParallel(g, workers)
+			almostEqualVec(t, got.Shapley, want.Shapley, 1e-9, "parallel kernel Shapley")
+			almostEqualVec(t, got.Banzhaf, want.Banzhaf, 1e-9, "parallel kernel Banzhaf")
+		}
+	}
+}
+
+func TestBatchedValuesEfficiency(t *testing.T) {
+	// Shapley from the kernel must still satisfy Σφ_i = V(N).
+	rng := stats.NewRand(12)
+	g := randomTable(t, 10, rng)
+	res := BatchedValuesParallel(g, 4)
+	if err := CheckEfficiency(g, res.Shapley, 1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapleyWeights(t *testing.T) {
+	// Closed binomial form must match the factorial definition, and the
+	// weights over all subsets of N\{i} must sum to 1.
+	for n := 1; n <= 12; n++ {
+		w := shapleyWeights(n)
+		sum := 0.0
+		for s := 0; s < n; s++ {
+			want := combin.Factorial(s) * combin.Factorial(n-s-1) / combin.Factorial(n)
+			if math.Abs(w[s]-want) > 1e-12*want {
+				t.Errorf("n=%d: w[%d] = %g, want %g", n, s, w[s], want)
+			}
+			sum += combin.Binomial(n-1, s) * w[s]
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("n=%d: weights sum to %g", n, sum)
+		}
+	}
+}
+
+func TestShapleyFallbackForNonSnapshotGames(t *testing.T) {
+	// A game violating the V(∅) = 0 contract cannot be snapshotted; the
+	// dispatcher must fall back to the per-player enumeration rather than
+	// fail.
+	bad := Func{Players: 3, V: func(s combin.Set) float64 {
+		return float64(s.Card()) + 1 // V(∅) = 1
+	}}
+	almostEqualVec(t, Shapley(bad), ShapleyLegacy(bad), 1e-12, "fallback Shapley")
+	almostEqualVec(t, Banzhaf(bad), BanzhafLegacy(bad), 1e-12, "fallback Banzhaf")
+}
+
+func TestSnapshotParallel(t *testing.T) {
+	g := gloveGame()
+	seq, err := Snapshot(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 5, 100} {
+		par, err := SnapshotParallel(NewSafeCache(g), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Players != seq.Players {
+			t.Fatalf("players %d vs %d", par.Players, seq.Players)
+		}
+		for s := range seq.Values {
+			if par.Values[s] != seq.Values[s] {
+				t.Errorf("workers=%d: V(%s) = %g, want %g",
+					workers, combin.Set(s), par.Values[s], seq.Values[s])
+			}
+		}
+	}
+	big := Func{Players: 30, V: func(combin.Set) float64 { return 0 }}
+	if _, err := SnapshotParallel(big, 4); err == nil {
+		t.Error("oversized SnapshotParallel must fail")
+	}
+}
+
+func TestParallelBatched(t *testing.T) {
+	rng := stats.NewRand(3)
+	g := randomTable(t, 7, rng)
+	res, err := ParallelBatched(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqualVec(t, res.Shapley, ShapleyByPermutation(g), 1e-9, "ParallelBatched Shapley")
+	almostEqualVec(t, res.Banzhaf, BanzhafLegacy(g), 1e-9, "ParallelBatched Banzhaf")
+
+	big := Func{Players: 30, V: func(combin.Set) float64 { return 0 }}
+	if _, err := ParallelBatched(big, 4); err == nil {
+		t.Error("ParallelBatched beyond 24 players must fail")
+	}
+}
+
+func BenchmarkShapleyKernel16(b *testing.B) {
+	g := benchTable(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchedValues(g)
+	}
+}
+
+func BenchmarkShapleyKernelParallel16(b *testing.B) {
+	g := benchTable(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchedValuesParallel(g, 0)
+	}
+}
+
+func BenchmarkShapleyLegacyTable16(b *testing.B) {
+	g := benchTable(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ShapleyLegacy(g)
+	}
+}
+
+func benchTable(b *testing.B, n int) *Table {
+	b.Helper()
+	rng := stats.NewRand(42)
+	vals := make([]float64, 1<<uint(n))
+	for i := 1; i < len(vals); i++ {
+		vals[i] = rng.Float64()
+	}
+	g, err := NewTable(n, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}

@@ -9,10 +9,18 @@ import (
 	"fedshare/internal/combin"
 )
 
-// ParallelShapley computes the exact Shapley value with one worker per
-// player (bounded by GOMAXPROCS). The game must be safe for concurrent
-// Value calls; wrap expensive games with Snapshot first (a Cache is NOT
-// safe for concurrent use).
+// ParallelShapley computes the exact Shapley value with the given number of
+// workers (0 means GOMAXPROCS). The game must be safe for concurrent Value
+// calls; wrap expensive games with SafeCache or Snapshot first (a Cache is
+// NOT safe for concurrent use).
+//
+// For *Table games — and for any game with n ≤ 24 players, which is first
+// materialized via SnapshotParallel — the work is sharded over the 2^n
+// coalition range and processed by the batched lattice kernel, so the
+// useful worker count scales with the coalition range and is NOT capped at
+// n players; load stays balanced regardless of player count. Only games
+// beyond 24 players (or with V(∅) ≠ 0) fall back to the per-player
+// decomposition, whose parallelism is limited to n workers.
 func ParallelShapley(g Game, workers int) []float64 {
 	n := g.N()
 	if n == 0 {
@@ -21,14 +29,36 @@ func ParallelShapley(g Game, workers int) []float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if t, ok := tableFor(g, workers); ok {
+		return BatchedValuesParallel(t, workers).Shapley
+	}
+	return parallelShapleyPerPlayer(g, workers)
+}
+
+// ParallelBatched computes Shapley and Banzhaf together with the batched
+// lattice kernel, sharded across workers (0 means GOMAXPROCS). The game
+// must be safe for concurrent Value calls when it is not already a *Table.
+// It errors for games that cannot be snapshotted (n > 24 or V(∅) ≠ 0).
+func ParallelBatched(g Game, workers int) (Batched, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	t, ok := tableFor(g, workers)
+	if !ok {
+		return Batched{}, fmt.Errorf("coalition: game with %d players is not snapshot-eligible", g.N())
+	}
+	return BatchedValuesParallel(t, workers), nil
+}
+
+// parallelShapleyPerPlayer is the legacy decomposition: one job per player,
+// each enumerating the 2^(n-1) subsets excluding it. Worker count is capped
+// at n, so the last straggler bounds wall-clock time.
+func parallelShapleyPerPlayer(g Game, workers int) []float64 {
+	n := g.N()
 	if workers > n {
 		workers = n
 	}
-	weight := make([]float64, n)
-	for s := 0; s < n; s++ {
-		// s!(n-s-1)!/n! == 1 / (n · C(n-1, s)).
-		weight[s] = 1 / (float64(n) * combin.Binomial(n-1, s))
-	}
+	weight := shapleyWeights(n)
 	phi := make([]float64, n)
 	full := combin.Full(n)
 	var wg sync.WaitGroup
@@ -61,14 +91,56 @@ func ParallelShapley(g Game, workers int) []float64 {
 // 24 players.
 func Snapshot(g Game) (*Table, error) {
 	n := g.N()
-	if n > 24 {
-		return nil, fmt.Errorf("coalition: Snapshot limited to 24 players, got %d", n)
+	if n > snapshotMaxPlayers {
+		return nil, fmt.Errorf("coalition: Snapshot limited to %d players, got %d", snapshotMaxPlayers, n)
 	}
 	values := make([]float64, 1<<uint(n))
 	combin.AllCoalitions(n, func(s combin.Set) bool {
 		values[s] = g.Value(s)
 		return true
 	})
+	return NewTable(n, values)
+}
+
+// SnapshotParallel materializes g into a Table with the 2^n coalition range
+// sharded across workers (0 means GOMAXPROCS). The game must be safe for
+// concurrent Value calls — wrap it with SafeCache if it is not. Each worker
+// fills a disjoint contiguous block of the value table, so expensive
+// characteristic functions (e.g. one LP/simulation solve per coalition)
+// evaluate concurrently. Limited to 24 players.
+func SnapshotParallel(g Game, workers int) (*Table, error) {
+	n := g.N()
+	if n > snapshotMaxPlayers {
+		return nil, fmt.Errorf("coalition: SnapshotParallel limited to %d players, got %d", snapshotMaxPlayers, n)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	size := uint64(1) << uint(n)
+	if uint64(workers) > size {
+		workers = int(size)
+	}
+	if workers <= 1 {
+		return Snapshot(g)
+	}
+	values := make([]float64, size)
+	chunk := (size + uint64(workers) - 1) / uint64(workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		lo := uint64(k) * chunk
+		hi := min(lo+chunk, size)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi uint64) {
+			defer wg.Done()
+			for m := lo; m < hi; m++ {
+				values[m] = g.Value(combin.Set(m))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return NewTable(n, values)
 }
 

@@ -42,6 +42,32 @@ func TestParallelShapleyWeights(t *testing.T) {
 	almostEqualVec(t, par, w, 1e-9, "additive parallel Shapley")
 }
 
+// TestParallelShapleyWorkersExceedPlayers pins the post-kernel contract:
+// worker count scales with the 2^n coalition range, so asking for far more
+// workers than players must still be correct (the legacy per-player path
+// silently degraded to n workers; the kernel shards coalition ranges).
+func TestParallelShapleyWorkersExceedPlayers(t *testing.T) {
+	rng := stats.NewRand(5)
+	n := 4
+	vals := make([]float64, 1<<uint(n))
+	for i := 1; i < len(vals); i++ {
+		vals[i] = rng.Float64() * 10
+	}
+	g, err := NewTable(n, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ShapleyByPermutation(g)
+	for _, workers := range []int{n + 1, 4 * n, 1 << n, 1000} {
+		almostEqualVec(t, ParallelShapley(g, workers), want, 1e-9,
+			"ParallelShapley with workers >> n")
+	}
+	// The >24-player fallback still degrades gracefully to n workers.
+	big := additiveGame([]float64{1, 2, 3})
+	almostEqualVec(t, parallelShapleyPerPlayer(big, 50), []float64{1, 2, 3}, 1e-9,
+		"per-player fallback with workers > n")
+}
+
 func TestSnapshot(t *testing.T) {
 	calls := 0
 	g := Func{Players: 4, V: func(s combin.Set) float64 {

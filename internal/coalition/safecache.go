@@ -1,0 +1,86 @@
+package coalition
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fedshare/internal/combin"
+)
+
+// safeCacheStripes is the number of lock stripes; must be a power of two.
+const safeCacheStripes = 64
+
+// SafeCache memoizes a Game's characteristic function and is safe for
+// concurrent Value calls, unlike Cache. It lets ParallelShapley,
+// SnapshotParallel, and MonteCarloShapley run on expensive characteristic
+// functions (e.g. the allocation-solver-backed federation games) without
+// first paying a full 2^n snapshot: coalitions are evaluated lazily, each
+// at most once.
+//
+// For up to 24 players values live in a dense array indexed by coalition
+// bitmask; beyond that, in sharded maps. Coalitions are hashed onto 64
+// mutex stripes, and a miss computes the inner Value while holding its
+// stripe lock — so two goroutines never duplicate an evaluation, and only
+// same-stripe coalitions serialize behind an expensive one.
+type SafeCache struct {
+	inner Game
+	n     int
+	mus   [safeCacheStripes]sync.Mutex
+	dense []float64
+	seen  []bool
+	maps  []map[combin.Set]float64 // one per stripe when n > 24
+	evals atomic.Int64
+}
+
+// NewSafeCache wraps g with concurrency-safe memoization.
+func NewSafeCache(g Game) *SafeCache {
+	c := &SafeCache{inner: g, n: g.N()}
+	if c.n <= snapshotMaxPlayers {
+		size := 1 << uint(c.n)
+		c.dense = make([]float64, size)
+		c.seen = make([]bool, size)
+	} else {
+		c.maps = make([]map[combin.Set]float64, safeCacheStripes)
+		for i := range c.maps {
+			c.maps[i] = map[combin.Set]float64{}
+		}
+	}
+	return c
+}
+
+// stripeOf spreads coalitions over the stripes (Fibonacci hashing, so both
+// contiguous snapshot shards and sparse Monte-Carlo masks distribute well).
+func stripeOf(s combin.Set) int {
+	return int((uint64(s) * 0x9E3779B97F4A7C15) >> 58 & (safeCacheStripes - 1))
+}
+
+// N implements Game.
+func (c *SafeCache) N() int { return c.n }
+
+// Value implements Game with concurrency-safe memoization.
+func (c *SafeCache) Value(s combin.Set) float64 {
+	k := stripeOf(s)
+	c.mus[k].Lock()
+	defer c.mus[k].Unlock()
+	if c.dense != nil {
+		if c.seen[s] {
+			return c.dense[s]
+		}
+		v := c.inner.Value(s)
+		c.dense[s] = v
+		c.seen[s] = true
+		c.evals.Add(1)
+		return v
+	}
+	if v, ok := c.maps[k][s]; ok {
+		return v
+	}
+	v := c.inner.Value(s)
+	c.maps[k][s] = v
+	c.evals.Add(1)
+	return v
+}
+
+// Evaluations reports how many distinct coalitions have been evaluated so
+// far. It is safe to call concurrently with Value.
+func (c *SafeCache) Evaluations() int { return int(c.evals.Load()) }

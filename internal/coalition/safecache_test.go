@@ -1,0 +1,146 @@
+package coalition
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fedshare/internal/combin"
+	"fedshare/internal/stats"
+)
+
+func TestSafeCacheSequential(t *testing.T) {
+	calls := 0
+	g := Func{Players: 4, V: func(s combin.Set) float64 {
+		calls++
+		return float64(s.Card() * 3)
+	}}
+	c := NewSafeCache(g)
+	if c.N() != 4 {
+		t.Fatalf("N = %d", c.N())
+	}
+	combin.AllCoalitions(4, func(s combin.Set) bool {
+		if c.Value(s) != float64(s.Card()*3) {
+			t.Errorf("V(%s) = %g", s, c.Value(s))
+		}
+		return true
+	})
+	combin.AllCoalitions(4, func(s combin.Set) bool {
+		c.Value(s)
+		return true
+	})
+	if calls != 16 {
+		t.Errorf("inner game evaluated %d times, want 16", calls)
+	}
+	if c.Evaluations() != 16 {
+		t.Errorf("Evaluations() = %d, want 16", c.Evaluations())
+	}
+}
+
+// TestSafeCacheConcurrentValue hammers one SafeCache from many goroutines
+// (far more than GOMAXPROCS) over overlapping coalition ranges. Run under
+// -race this is the regression test that Value is actually safe for
+// concurrent use and that each coalition is evaluated at most once.
+func TestSafeCacheConcurrentValue(t *testing.T) {
+	const n = 10
+	var calls atomic.Int64
+	g := Func{Players: n, V: func(s combin.Set) float64 {
+		calls.Add(1)
+		return float64(s.Card()) * 1.5
+	}}
+	c := NewSafeCache(g)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := stats.NewRand(seed)
+			for it := 0; it < 2000; it++ {
+				s := combin.Set(rng.Intn(1 << n))
+				if got, want := c.Value(s), float64(s.Card())*1.5; got != want {
+					t.Errorf("V(%s) = %g, want %g", s, got, want)
+					return
+				}
+			}
+		}(uint64(w + 1))
+	}
+	wg.Wait()
+	if calls.Load() > 1<<n {
+		t.Errorf("inner game evaluated %d times, want <= %d (no duplicate work)", calls.Load(), 1<<n)
+	}
+	if int(calls.Load()) != c.Evaluations() {
+		t.Errorf("Evaluations() = %d, inner calls = %d", c.Evaluations(), calls.Load())
+	}
+}
+
+// TestSafeCacheParallelShapley runs the full parallel pipeline — lazy
+// concurrent evaluation through SafeCache, parallel snapshot, lattice
+// kernel — and checks the result against the sequential oracle.
+func TestSafeCacheParallelShapley(t *testing.T) {
+	glove := gloveGame()
+	want := ShapleyLegacy(glove)
+	for _, workers := range []int{0, 1, 2, 8} {
+		c := NewSafeCache(glove)
+		got := ParallelShapley(c, workers)
+		almostEqualVec(t, got, want, 1e-9, "ParallelShapley over SafeCache")
+	}
+
+	bank := bankruptcyGame(400, []float64{100, 200, 300})
+	almostEqualVec(t, ParallelShapley(NewSafeCache(bank), 4), ShapleyByPermutation(bank),
+		1e-9, "bankruptcy ParallelShapley over SafeCache")
+}
+
+// TestSafeCacheMapMode exercises the sharded-map path used beyond 24
+// players, concurrently.
+func TestSafeCacheMapMode(t *testing.T) {
+	const n = 30
+	g := Func{Players: n, V: func(s combin.Set) float64 {
+		return float64(s.Card())
+	}}
+	c := NewSafeCache(g)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := stats.NewRand(seed)
+			for it := 0; it < 500; it++ {
+				s := combin.Set(rng.Intn(1 << 16)) // shared sub-lattice
+				if got := c.Value(s); got != float64(s.Card()) {
+					t.Errorf("V(%s) = %g", s, got)
+					return
+				}
+			}
+		}(uint64(w + 100))
+	}
+	wg.Wait()
+	if c.Evaluations() == 0 || c.Evaluations() > 8*500 {
+		t.Errorf("Evaluations() = %d out of range", c.Evaluations())
+	}
+}
+
+func TestCacheEvaluationsCounter(t *testing.T) {
+	// The dense-mode counter must match distinct evaluations without
+	// scanning the seen bitmap, and must not grow on cache hits.
+	g := Func{Players: 6, V: func(s combin.Set) float64 { return float64(s.Card()) }}
+	c := NewCache(g)
+	if c.Evaluations() != 0 {
+		t.Fatalf("fresh cache reports %d evaluations", c.Evaluations())
+	}
+	c.Value(combin.Of(0, 3))
+	c.Value(combin.Of(0, 3))
+	c.Value(combin.Of(5))
+	if c.Evaluations() != 2 {
+		t.Errorf("Evaluations() = %d, want 2", c.Evaluations())
+	}
+	// Map mode (n > 24).
+	big := Func{Players: 30, V: func(s combin.Set) float64 { return float64(s.Card()) }}
+	bc := NewCache(big)
+	bc.Value(combin.Of(1, 2))
+	bc.Value(combin.Of(1, 2))
+	bc.Value(combin.Of(29))
+	if bc.Evaluations() != 2 {
+		t.Errorf("map-mode Evaluations() = %d, want 2", bc.Evaluations())
+	}
+}

@@ -8,25 +8,51 @@ import (
 	"fedshare/internal/stats"
 )
 
+// shapleyWeights returns w[s] = s!·(n−s−1)!/n! for s = 0..n−1 — the
+// probability that a uniformly random ordering places a given player
+// immediately after a particular s-subset of the others — using the closed
+// binomial form 1/(n·C(n−1,s)). This single helper backs every exact
+// Shapley path (sequential, per-player parallel, and the lattice kernel).
+func shapleyWeights(n int) []float64 {
+	w := make([]float64, n)
+	for s := 0; s < n; s++ {
+		w[s] = 1 / (float64(n) * combin.Binomial(n-1, s))
+	}
+	return w
+}
+
 // Shapley computes the exact Shapley value of every player using the
 // subset-sum form
 //
 //	φ_i = Σ_{S ⊆ N\{i}}  |S|!·(n−|S|−1)!/n! · (V(S∪{i}) − V(S)).
 //
-// Cost is O(n·2^n) characteristic-function evaluations (2^n with a Cache).
-// Use MonteCarloShapley for games beyond ~20 players.
+// When g is a *Table — or any game small enough (n ≤ 24) to snapshot into
+// one — the computation dispatches to the batched lattice kernel
+// (BatchedValues): one linear sweep over the dense value table instead of
+// n separate subset enumerations through the Game interface. Otherwise it
+// falls back to ShapleyLegacy, costing O(n·2^n) characteristic-function
+// evaluations (2^n with a Cache). Use MonteCarloShapley for games beyond
+// ~24 players.
 func Shapley(g Game) []float64 {
+	if g.N() == 0 {
+		return nil
+	}
+	if t, ok := tableFor(g, 1); ok {
+		return BatchedValues(t).Shapley
+	}
+	return ShapleyLegacy(g)
+}
+
+// ShapleyLegacy is the classic per-player subset enumeration. It is the
+// fallback for games that cannot be snapshotted (n > 24, or V(∅) ≠ 0) and
+// is retained as an independently-coded reference for tests and the
+// kernel-vs-legacy benchmarks.
+func ShapleyLegacy(g Game) []float64 {
 	n := g.N()
 	if n == 0 {
 		return nil
 	}
-	// weight[s] = s!(n-s-1)!/n! computed in log space to stay finite for
-	// large n.
-	weight := make([]float64, n)
-	for s := 0; s < n; s++ {
-		lw := logFactorial(s) + logFactorial(n-s-1) - logFactorial(n)
-		weight[s] = math.Exp(lw)
-	}
+	weight := shapleyWeights(n)
 	phi := make([]float64, n)
 	full := combin.Full(n)
 	for i := 0; i < n; i++ {
@@ -37,14 +63,6 @@ func Shapley(g Game) []float64 {
 		})
 	}
 	return phi
-}
-
-func logFactorial(n int) float64 {
-	out := 0.0
-	for i := 2; i <= n; i++ {
-		out += math.Log(float64(i))
-	}
-	return out
 }
 
 // ShapleyByPermutation computes the Shapley value by full enumeration of all
@@ -87,7 +105,9 @@ type MonteCarloResult struct {
 // MonteCarloShapley estimates the Shapley value by sampling uniform random
 // orderings. The estimator is unbiased; standard errors shrink as
 // 1/sqrt(samples). The paper notes exact computation is intractable in
-// general — this is the practical large-N fallback.
+// general — this is the practical large-N fallback. Wrap expensive games
+// with SafeCache (or Cache for single-threaded use) so repeated coalition
+// visits across samples are free.
 func MonteCarloShapley(g Game, samples int, rng *stats.Rand) MonteCarloResult {
 	n := g.N()
 	if samples <= 0 {
@@ -125,8 +145,23 @@ func MonteCarloShapley(g Game, samples int, rng *stats.Rand) MonteCarloResult {
 
 // Banzhaf computes the (non-normalized) Banzhaf value
 // β_i = 2^{-(n-1)} Σ_{S ⊆ N\{i}} (V(S∪{i}) − V(S)), an alternative power
-// index included for policy comparison.
+// index included for policy comparison. Like Shapley, it dispatches to the
+// batched lattice kernel whenever the game is a *Table or snapshot-eligible.
 func Banzhaf(g Game) []float64 {
+	n := g.N()
+	if n == 0 {
+		return make([]float64, 0)
+	}
+	if t, ok := tableFor(g, 1); ok {
+		return BatchedValues(t).Banzhaf
+	}
+	return BanzhafLegacy(g)
+}
+
+// BanzhafLegacy is the per-player subset enumeration form of Banzhaf,
+// retained as the fallback for non-snapshottable games and as a reference
+// implementation for kernel cross-checks.
+func BanzhafLegacy(g Game) []float64 {
 	n := g.N()
 	beta := make([]float64, n)
 	if n == 0 {

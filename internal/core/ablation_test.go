@@ -79,7 +79,9 @@ func TestDistortionGrowsWithThreshold(t *testing.T) {
 		pi := shares(t, m, ProportionalPolicy{})
 		return TotalDistortion(phi, pi)
 	}
-	if dist(0) != 0 {
+	// At l=0 the game is additive, so Shapley equals proportional up to
+	// float summation order in the lattice kernel.
+	if dist(0) > 1e-12 {
 		t.Errorf("distortion at l=0 should be 0, got %g", dist(0))
 	}
 	if dist(600) <= dist(150) {

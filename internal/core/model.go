@@ -81,7 +81,7 @@ type Model struct {
 	// the paper's setting for all numerical figures.
 	Overlap [][]int
 
-	game *coalition.Cache
+	game *coalition.SafeCache
 }
 
 // NewModel validates and builds a federation model.
@@ -245,10 +245,14 @@ func (m *Model) Value(s combin.Set) float64 {
 	return m.mu() * res.Utility
 }
 
-// Game returns the memoized coalitional game over the facilities.
-func (m *Model) Game() *coalition.Cache {
+// Game returns the memoized coalitional game over the facilities. The
+// cache is safe for concurrent Value calls (Value is a pure function of
+// the model and the allocation solver is stateless), so the parallel
+// engines — ParallelShapley, SnapshotParallel — can evaluate coalition
+// allocations concurrently without a prior full snapshot.
+func (m *Model) Game() *coalition.SafeCache {
 	if m.game == nil {
-		m.game = coalition.NewCache(coalition.Func{Players: m.N(), V: m.Value})
+		m.game = coalition.NewSafeCache(coalition.Func{Players: m.N(), V: m.Value})
 	}
 	return m.game
 }

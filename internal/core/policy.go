@@ -19,16 +19,22 @@ type Policy interface {
 }
 
 // ShapleyPolicy shares value by the normalized Shapley value φ̂ (eq. (5)):
-// each facility receives its expected marginal contribution.
-type ShapleyPolicy struct{}
+// each facility receives its expected marginal contribution. The
+// computation runs on the batched coalition-lattice kernel: the model's
+// concurrency-safe game cache lets the 2^n coalition allocations solve in
+// parallel, and a single sweep then yields every facility's value at once.
+type ShapleyPolicy struct {
+	// Workers bounds the parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
 
 // Name implements Policy.
 func (ShapleyPolicy) Name() string { return "shapley" }
 
 // Shares implements Policy.
-func (ShapleyPolicy) Shares(m *Model) ([]float64, error) {
+func (p ShapleyPolicy) Shares(m *Model) ([]float64, error) {
 	g := m.Game()
-	return coalition.Normalize(g, coalition.Shapley(g)), nil
+	return coalition.Normalize(g, coalition.ParallelShapley(g, p.Workers)), nil
 }
 
 // MonteCarloShapleyPolicy estimates φ̂ by sampling orderings — the practical
@@ -142,7 +148,14 @@ func (BanzhafPolicy) Name() string { return "banzhaf" }
 
 // Shares implements Policy.
 func (BanzhafPolicy) Shares(m *Model) ([]float64, error) {
-	beta := coalition.Banzhaf(m.Game())
+	g := m.Game()
+	var beta []float64
+	if b, err := coalition.ParallelBatched(g, 0); err == nil {
+		beta = b.Banzhaf
+	} else {
+		// Beyond the snapshot-eligible range: per-player enumeration.
+		beta = coalition.Banzhaf(g)
+	}
 	total := 0.0
 	for _, b := range beta {
 		total += b

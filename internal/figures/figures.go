@@ -90,7 +90,10 @@ func mustShares(m *core.Model, p core.Policy) []float64 {
 }
 
 // shareSweep runs a sweep building a model per x value and records φ̂ and π̂
-// (and optionally ρ̂) per facility.
+// (and optionally ρ̂) per facility. Each point runs on the batched
+// coalition-lattice kernel: the model's concurrency-safe game cache lets
+// the 2^n coalition allocations solve in parallel, and one sweep then
+// yields every facility's Shapley value at once.
 func shareSweep(xs []float64, build func(x float64) *core.Model, withRho bool) []stats.Series {
 	const n = 3
 	mkSeries := func(symbol string) []stats.Series {
