@@ -6,6 +6,7 @@
 //	fedsim -fig fig4          # one figure
 //	fedsim -all               # every figure
 //	fedsim -fig fig4 -chart   # with an ASCII chart
+//	fedsim -all -v            # per-figure wall-clock + allocation-memo stats
 //	fedsim -diagram           # the federation-model and game diagrams
 //	fedsim -weights           # offline Shapley weight table (Sec. 3.2.3)
 package main
@@ -15,12 +16,22 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"time"
 
+	"fedshare/internal/allocation"
 	"fedshare/internal/asciichart"
 	"fedshare/internal/core"
 	"fedshare/internal/figures"
 	"fedshare/internal/policy"
+	"fedshare/internal/sweep"
 )
+
+// allFigureIDs lists every figure in paper order plus the extensions,
+// regenerated one at a time so -v can attribute wall-clock per figure.
+var allFigureIDs = []string{
+	"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig-market",
+}
 
 func main() {
 	figID := flag.String("fig", "", "figure to regenerate (fig2, fig4, fig4-strict, fig5, fig6, fig7, fig8, fig9, fig-market)")
@@ -31,6 +42,10 @@ func main() {
 	width := flag.Int("width", 72, "chart width")
 	height := flag.Int("height", 20, "chart height")
 	workers := flag.Int("workers", 0, "parallel workers for the coalition kernel (0 = all cores)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "parallel workers for figure/parameter sweeps (0 = all cores, 1 = sequential)")
+	verbose := flag.Bool("v", false, "print per-figure wall-clock and allocation-memo hit-rate summaries")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	// The coalition engine (SnapshotParallel / BatchedValuesParallel) sizes
@@ -38,6 +53,42 @@ func main() {
 	if *workers > 0 {
 		runtime.GOMAXPROCS(*workers)
 	}
+	// Sweep-level parallelism (figures.shareSweep, core.IncentiveCurve,
+	// policy.BuildWeightTable) is bounded independently.
+	if *sweepWorkers > 0 {
+		sweep.SetDefaultWorkers(*sweepWorkers)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	switch {
 	case *diagram:
@@ -45,23 +96,46 @@ func main() {
 	case *weights:
 		printWeightTable()
 	case *all:
-		for _, f := range figures.All() {
-			printFigure(f, *chart, *width, *height)
-		}
-		for _, f := range figures.Extensions() {
-			printFigure(f, *chart, *width, *height)
+		for _, id := range allFigureIDs {
+			if err := runFigure(id, *chart, *width, *height, *verbose); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 		}
 	case *figID != "":
-		f, err := figures.ByID(*figID)
-		if err != nil {
+		if err := runFigure(*figID, *chart, *width, *height, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		printFigure(f, *chart, *width, *height)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runFigure regenerates one figure, timing the generation (not the
+// rendering) and attributing allocation-memo traffic to it when verbose.
+func runFigure(id string, chart bool, w, h int, verbose bool) error {
+	before := allocation.DefaultMemo.Stats()
+	start := time.Now()
+	f, err := figures.ByID(id)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	printFigure(f, chart, w, h)
+	if verbose {
+		after := allocation.DefaultMemo.Stats()
+		hits := after.Hits - before.Hits
+		misses := after.Misses - before.Misses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		fmt.Printf("-- %s: %v wall-clock, allocation memo %d hits / %d misses (%.1f%% hit rate)\n\n",
+			f.ID, elapsed.Round(time.Microsecond), hits, misses, 100*rate)
+	}
+	return nil
 }
 
 func printFigure(f *figures.Figure, chart bool, w, h int) {

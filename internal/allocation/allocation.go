@@ -132,6 +132,9 @@ func Solve(pool Pool, reqs []Request) *Result {
 		}
 	}
 	if fastApplies(pool, reqs) {
+		if analyticEligible(pool, reqs) {
+			return solveAnalytic(pool, reqs)
+		}
 		return solveFast(pool, reqs)
 	}
 	return solveGreedy(pool, reqs)
@@ -192,22 +195,12 @@ func minimaFeasible(minsDesc []int, n, counts []int) bool {
 // Admission therefore admits requests in ascending-Min order while the
 // minima stay feasible and the marginal slot supply remains positive.
 func solveFast(pool Pool, reqs []Request) *Result {
-	nc := len(pool.Classes)
-	res := &Result{
-		X:               make([]int, len(reqs)),
-		ConsumedByClass: make([]float64, nc),
-		SlotsByClass:    make([]int, nc),
-	}
+	res := emptyResult(pool, reqs)
 	if len(reqs) == 0 {
 		return res
 	}
 	r0 := reqs[0].Resources
-	n := make([]int, nc)
-	counts := make([]int, nc)
-	for c, cl := range pool.Classes {
-		n[c] = int(math.Floor(cl.Capacity / r0))
-		counts[c] = cl.Count
-	}
+	n, counts := fastSetup(pool, r0)
 	L := pool.TotalLocations()
 
 	// Admission order: ascending Min (cheapest feasibility footprint first).
@@ -244,9 +237,40 @@ func solveFast(pool Pool, reqs []Request) *Result {
 		admitted = append(admitted, j)
 	}
 
+	distributeBalanced(res, reqs, admitted, n, counts, L, r0)
+	return res
+}
+
+// emptyResult allocates a zeroed Result shaped for (pool, reqs).
+func emptyResult(pool Pool, reqs []Request) *Result {
+	nc := len(pool.Classes)
+	return &Result{
+		X:               make([]int, len(reqs)),
+		ConsumedByClass: make([]float64, nc),
+		SlotsByClass:    make([]int, nc),
+	}
+}
+
+// fastSetup computes the fast engine's per-class tables: n[c] = ⌊R_c/r⌋,
+// the per-location experiment capacity, and counts[c], the location count.
+func fastSetup(pool Pool, r0 float64) (n, counts []int) {
+	nc := len(pool.Classes)
+	n = make([]int, nc)
+	counts = make([]int, nc)
+	for c, cl := range pool.Classes {
+		n[c] = int(math.Floor(cl.Capacity / r0))
+		counts[c] = cl.Count
+	}
+	return n, counts
+}
+
+// distributeBalanced fills res with the balanced maximal assignment for the
+// given admitted set — the shared tail of solveFast and solveAnalytic, so
+// the two engines produce bit-identical results on their common domain.
+func distributeBalanced(res *Result, reqs []Request, admitted []int, n, counts []int, L int, r0 float64) {
 	m := len(admitted)
 	if m == 0 {
-		return res
+		return
 	}
 	total := totalSlots(n, counts, m)
 
@@ -331,7 +355,6 @@ func solveFast(pool Pool, reqs []Request) *Result {
 		res.ConsumedByClass[c] = float64(classSlots) * r0
 	}
 	rebalanceSlots(res, assigned)
-	return res
 }
 
 // rebalanceSlots fixes rounding so Σ SlotsByClass == assigned exactly.

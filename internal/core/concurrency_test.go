@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fedshare/internal/allocation"
+	"fedshare/internal/combin"
+	"fedshare/internal/economics"
+	"fedshare/internal/sweep"
+)
+
+func testWorkload(t *testing.T, l float64, k int) *economics.Workload {
+	t.Helper()
+	wl, err := economics.NewWorkload(economics.DemandClass{
+		Type: economics.ExperimentType{
+			Name: "e", MinLocations: l, MaxLocations: math.Inf(1),
+			Resources: 1, HoldingTime: 1, Shape: 1,
+		},
+		Count: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// disjointOverlap assigns facility i the location identifiers
+// [offset_i, offset_i + L_i): an explicit pairwise-disjoint cover, the
+// overlap structure that must be equivalent to the no-overlap model.
+func disjointOverlap(facilities []Facility) [][]int {
+	out := make([][]int, len(facilities))
+	next := 0
+	for i, f := range facilities {
+		ids := make([]int, f.Locations)
+		for j := range ids {
+			ids[j] = next
+			next++
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// TestOverlapDisjointReproducesNoOverlap is the overlap-pooling property
+// test: with a pairwise-disjoint cover the overlap branch of poolFor must
+// reproduce the no-overlap V(S) exactly for every coalition, across
+// randomized facility configurations and demands.
+func TestOverlapDisjointReproducesNoOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(2)
+		fs := make([]Facility, n)
+		for i := range fs {
+			fs[i] = Facility{
+				Name:      string(rune('A' + i)),
+				Locations: rng.Intn(7),
+				Resources: []float64{1, 2, 3}[rng.Intn(3)],
+			}
+		}
+		wl := testWorkload(t, float64(rng.Intn(10)), 1+rng.Intn(6))
+
+		flat, err := NewModel(fs, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overlapped, err := NewModel(fs, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overlapped.Overlap = disjointOverlap(fs)
+
+		for s := combin.Set(1); s <= combin.Full(n); s++ {
+			if got, want := overlapped.Value(s), flat.Value(s); got != want {
+				t.Fatalf("trial %d: V(%v) overlap %g != flat %g (facilities %+v)",
+					trial, s, got, want, fs)
+			}
+		}
+	}
+}
+
+// TestOverlapModelsBypassMemo is the memo-key regression test: overlap
+// models are uncacheable — their Value calls must not touch the process-
+// wide allocation memo — while an identically-shaped no-overlap model must.
+func TestOverlapModelsBypassMemo(t *testing.T) {
+	fs := []Facility{
+		{Name: "A", Locations: 3, Resources: 1},
+		{Name: "B", Locations: 4, Resources: 1},
+	}
+	wl := testWorkload(t, 2, 3)
+
+	overlapped, err := NewModel(fs, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlapped.Overlap = disjointOverlap(fs)
+	before := allocation.DefaultMemo.Stats()
+	for s := combin.Set(1); s <= combin.Full(2); s++ {
+		overlapped.Value(s)
+	}
+	after := allocation.DefaultMemo.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("overlap model touched the memo: %+v -> %+v", before, after)
+	}
+
+	flat, err := NewModel(fs, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before = after
+	for s := combin.Set(1); s <= combin.Full(2); s++ {
+		flat.Value(s)
+	}
+	after = allocation.DefaultMemo.Stats()
+	if after.Hits+after.Misses == before.Hits+before.Misses {
+		t.Fatal("no-overlap model did not use the memo")
+	}
+}
+
+// TestGameConcurrentInit races many goroutines through the lazy Game()
+// init and concurrent Value evaluation (run under -race); all must see one
+// cache instance.
+func TestGameConcurrentInit(t *testing.T) {
+	m, err := NewModel([]Facility{
+		{Name: "A", Locations: 5, Resources: 1},
+		{Name: "B", Locations: 8, Resources: 1},
+		{Name: "C", Locations: 3, Resources: 2},
+	}, testWorkload(t, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	games := make([]interface{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := m.Game()
+			games[w] = g
+			for s := combin.Set(1); s <= combin.Full(3); s++ {
+				g.Value(s)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if games[w] != games[0] {
+			t.Fatal("concurrent Game() built more than one cache")
+		}
+	}
+}
+
+// TestIncentiveCurveParallelMatchesSequential runs the Fig 9 sweep with
+// multiple sweep workers and checks the curve is identical to the
+// sequential one, and that the input model is untouched.
+func TestIncentiveCurveParallelMatchesSequential(t *testing.T) {
+	m, err := NewModel([]Facility{
+		{Name: "A", Locations: 5, Resources: 2},
+		{Name: "B", Locations: 8, Resources: 1},
+		{Name: "C", Locations: 3, Resources: 1},
+	}, testWorkload(t, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	locations := []int{0, 2, 4, 6, 8, 10, 12}
+
+	orig := sweep.SetDefaultWorkers(1)
+	defer sweep.SetDefaultWorkers(orig)
+	seq, err := IncentiveCurve(m, 0, locations, ShapleyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep.SetDefaultWorkers(4)
+	par, err := IncentiveCurve(m, 0, locations, ShapleyPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Points) != len(par.Points) {
+		t.Fatalf("length mismatch: %d vs %d", len(seq.Points), len(par.Points))
+	}
+	for i := range seq.Points {
+		if seq.Points[i] != par.Points[i] {
+			t.Fatalf("point %d: sequential %+v != parallel %+v", i, seq.Points[i], par.Points[i])
+		}
+	}
+	if m.Facilities[0].Locations != 5 {
+		t.Fatalf("input model mutated: L1 = %d", m.Facilities[0].Locations)
+	}
+}
+
+// TestCloneWith checks clones are independent of the source model.
+func TestCloneWith(t *testing.T) {
+	m, err := NewModel([]Facility{
+		{Name: "A", Locations: 5, Resources: 1},
+		{Name: "B", Locations: 8, Resources: 1},
+	}, testWorkload(t, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBefore := m.GrandValue()
+	c := m.CloneWith(func(fs []Facility) { fs[0].Locations = 50 })
+	if c.Facilities[0].Locations != 50 || m.Facilities[0].Locations != 5 {
+		t.Fatalf("clone mutation leaked: clone %d, source %d",
+			c.Facilities[0].Locations, m.Facilities[0].Locations)
+	}
+	if c.GrandValue() <= vBefore {
+		t.Fatalf("clone with more locations should gain value: %g <= %g", c.GrandValue(), vBefore)
+	}
+	if m.GrandValue() != vBefore {
+		t.Fatalf("source value changed: %g != %g", m.GrandValue(), vBefore)
+	}
+}

@@ -11,6 +11,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"fedshare/internal/allocation"
 	"fedshare/internal/coalition"
@@ -81,7 +83,14 @@ type Model struct {
 	// the paper's setting for all numerical figures.
 	Overlap [][]int
 
-	game *coalition.SafeCache
+	// mu guards the lazily-built game and request caches so concurrent
+	// sweep workers can share a model safely; reqs is additionally
+	// published through an atomic pointer so the per-coalition read in
+	// Value stays lock-free.
+	mu    sync.Mutex
+	game  *coalition.SafeCache
+	table *coalition.Table
+	reqs  atomic.Pointer[[]allocation.Request]
 }
 
 // NewModel validates and builds a federation model.
@@ -121,12 +130,12 @@ func (m *Model) WithOverlap(universe int, rng *stats.Rand) (*Model, error) {
 		ids := append([]int(nil), perm[:f.Locations]...)
 		m.Overlap[i] = ids
 	}
-	m.game = nil
+	m.Invalidate()
 	return m, nil
 }
 
-// mu returns the profit conversion factor.
-func (m *Model) mu() float64 {
+// muFactor returns the profit conversion factor.
+func (m *Model) muFactor() float64 {
 	if m.Mu == 0 {
 		return 1
 	}
@@ -187,16 +196,14 @@ func (m *Model) poolFor(s combin.Set) pooling {
 			return true
 		}
 		capacity := 0.0
-		totalR := 0.0
 		for _, i := range owners.Members() {
 			capacity += m.Facilities[i].EffectiveCapacity()
-			totalR += m.Facilities[i].EffectiveCapacity()
 		}
 		var ow []ownerWeight
 		for _, i := range owners.Members() {
 			frac := 0.0
-			if totalR > 0 {
-				frac = m.Facilities[i].EffectiveCapacity() / totalR
+			if capacity > 0 {
+				frac = m.Facilities[i].EffectiveCapacity() / capacity
 			}
 			ow = append(ow, ownerWeight{facility: i, frac: frac})
 		}
@@ -211,9 +218,26 @@ func (m *Model) poolFor(s combin.Set) pooling {
 	return p
 }
 
-// requests expands the demand workload into allocation requests.
+// requests returns the demand workload expanded into allocation requests,
+// building the expansion once — Value calls it for every coalition, and a
+// batch workload expands to K structs each time otherwise.
 func (m *Model) requests() []allocation.Request {
-	var reqs []allocation.Request
+	if p := m.reqs.Load(); p != nil {
+		return *p
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := m.reqs.Load(); p != nil {
+		return *p
+	}
+	reqs := m.buildRequests()
+	m.reqs.Store(&reqs)
+	return reqs
+}
+
+// buildRequests expands the demand workload into allocation requests.
+func (m *Model) buildRequests() []allocation.Request {
+	reqs := []allocation.Request{}
 	for _, class := range m.Demand.Classes {
 		t := class.Type
 		maxLoc := 0 // unbounded
@@ -240,25 +264,99 @@ func (m *Model) Value(s combin.Set) float64 {
 	if s.IsEmpty() {
 		return 0
 	}
+	if m.Overlap == nil {
+		// Disjoint coverage: build only the pool, skipping poolFor's
+		// per-class ownership attribution, which Value never reads. The
+		// class slice comes from a scratch pool — the solver and the memo
+		// read it by value and never retain it.
+		scratch := classScratchPool.Get().(*[]allocation.Class)
+		classes := (*scratch)[:0]
+		for i := range m.Facilities {
+			f := &m.Facilities[i]
+			if !s.Contains(i) || f.Locations == 0 {
+				continue
+			}
+			classes = append(classes, allocation.Class{
+				Label:    f.Name,
+				Count:    f.Locations,
+				Capacity: f.EffectiveCapacity(),
+			})
+		}
+		res := allocation.SolveCached(allocation.Pool{Classes: classes}, m.requests())
+		*scratch = classes
+		classScratchPool.Put(scratch)
+		return m.muFactor() * res.Utility
+	}
 	p := m.poolFor(s)
-	res := allocation.Solve(p.pool, m.requests())
-	return m.mu() * res.Utility
+	res := m.solve(p.pool)
+	return m.muFactor() * res.Utility
+}
+
+// classScratchPool recycles the per-coalition class slices Value builds.
+var classScratchPool = sync.Pool{New: func() any { return new([]allocation.Class) }}
+
+// solve runs the allocation engine for a coalition pool. Disjoint-coverage
+// models (every numerical figure) go through the process-wide aggregate-
+// keyed memo: their V(S) depends only on the class multiset plus the
+// demand, so symmetric coalitions and repeated pools across sweep points
+// collapse to one solve. Overlap models are deliberately not memoized —
+// the signature would conflate distinct cover structures' attribution, so
+// they are treated as uncacheable and always solve directly.
+func (m *Model) solve(pool allocation.Pool) *allocation.Result {
+	if m.Overlap == nil {
+		return allocation.SolveCached(pool, m.requests())
+	}
+	return allocation.Solve(pool, m.requests())
 }
 
 // Game returns the memoized coalitional game over the facilities. The
 // cache is safe for concurrent Value calls (Value is a pure function of
 // the model and the allocation solver is stateless), so the parallel
 // engines — ParallelShapley, SnapshotParallel — can evaluate coalition
-// allocations concurrently without a prior full snapshot.
+// allocations concurrently without a prior full snapshot. The lazy init is
+// mutex-guarded, so concurrent sweep workers sharing a model cannot race
+// to build it.
 func (m *Model) Game() *coalition.SafeCache {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.game == nil {
 		m.game = coalition.NewSafeCache(coalition.Func{Players: m.N(), V: m.Value})
 	}
 	return m.game
 }
 
-// GrandValue is V(N).
+// Table returns the model's dense coalition-value table, materialized once
+// (2^n Value evaluations on first call). Value is safe for concurrent calls,
+// so unlike Game() no locking wrapper sits between the exact engines and
+// the characteristic function — for the figure sweeps' small models this
+// skips a SafeCache allocation and a mutex acquisition per coalition. It
+// errors for models too large to snapshot; use Game() then.
+func (m *Model) Table() (*coalition.Table, error) {
+	// Warm the request cache first: Value calls requests(), whose slow
+	// path takes m.mu, and the snapshot below runs with m.mu held.
+	m.requests()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.table == nil {
+		t, err := coalition.Snapshot(coalition.Func{Players: m.N(), V: m.Value})
+		if err != nil {
+			return nil, err
+		}
+		m.table = t
+	}
+	return m.table, nil
+}
+
+// GrandValue is V(N). It reads the dense table when one has been
+// materialized and otherwise evaluates through the lazy game cache, so
+// callers needing only V(N) never pay for a full snapshot.
 func (m *Model) GrandValue() float64 {
+	m.mu.Lock()
+	t := m.table
+	m.mu.Unlock()
+	if t != nil {
+		return t.Value(combin.Full(m.N()))
+	}
 	return m.Game().Value(combin.Full(m.N()))
 }
 
@@ -266,7 +364,7 @@ func (m *Model) GrandValue() float64 {
 // consumed resource units to facilities (the numerator of ρ̂, eq. (7)).
 func (m *Model) ConsumptionByFacility() []float64 {
 	p := m.poolFor(combin.Full(m.N()))
-	res := allocation.Solve(p.pool, m.requests())
+	res := m.solve(p.pool)
 	out := make([]float64, m.N())
 	for c, consumed := range res.ConsumedByClass {
 		for _, ow := range p.owners[c] {
@@ -276,5 +374,24 @@ func (m *Model) ConsumptionByFacility() []float64 {
 	return out
 }
 
-// Invalidate drops the memoized game (call after mutating the model).
-func (m *Model) Invalidate() { m.game = nil }
+// Invalidate drops the memoized game and request expansion (call after
+// mutating the model).
+func (m *Model) Invalidate() {
+	m.mu.Lock()
+	m.game = nil
+	m.table = nil
+	m.reqs.Store(nil)
+	m.mu.Unlock()
+}
+
+// CloneWith returns a copy of the model sharing the (read-only) demand and
+// overlap structure, with mutate applied to the copy's facilities. It is
+// the provision-sweep building block: each sweep point gets a private
+// model, so points evaluate concurrently without racing on the game cache.
+func (m *Model) CloneWith(mutate func(facilities []Facility)) *Model {
+	fs := append([]Facility(nil), m.Facilities...)
+	if mutate != nil {
+		mutate(fs)
+	}
+	return &Model{Facilities: fs, Demand: m.Demand, Mu: m.Mu, Overlap: m.Overlap}
+}

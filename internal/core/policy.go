@@ -6,6 +6,7 @@ import (
 	"fedshare/internal/coalition"
 	"fedshare/internal/combin"
 	"fedshare/internal/stats"
+	"fedshare/internal/sweep"
 )
 
 // Policy computes normalized value shares ŝ_i for the facilities of a
@@ -33,6 +34,12 @@ func (ShapleyPolicy) Name() string { return "shapley" }
 
 // Shares implements Policy.
 func (p ShapleyPolicy) Shares(m *Model) ([]float64, error) {
+	// Snapshot-eligible models (every paper figure) go through the dense
+	// table: the batched kernel reads it directly, with no per-coalition
+	// cache locking. Larger models fall back to the lazy game cache.
+	if t, err := m.Table(); err == nil {
+		return coalition.Normalize(t, coalition.ParallelShapley(t, p.Workers)), nil
+	}
 	g := m.Game()
 	return coalition.Normalize(g, coalition.ParallelShapley(g, p.Workers)), nil
 }
@@ -244,28 +251,32 @@ func coalitionName(m *Model, s combin.Set) string {
 
 // IncentiveCurve computes facility idx's absolute payoff under policy p as
 // its location count sweeps over the given values (the Fig 9 experiment).
-// The model is restored to its original state afterwards.
+// Each sweep point evaluates a private clone of the model, so the points
+// run concurrently on the sweep worker pool while the output series keeps
+// deterministic point order; the input model is never mutated.
 func IncentiveCurve(m *Model, idx int, locations []int, p Policy) (stats.Series, error) {
 	if idx < 0 || idx >= m.N() {
 		return stats.Series{}, fmt.Errorf("core: facility index %d out of range", idx)
 	}
-	orig := m.Facilities[idx].Locations
-	defer func() {
-		m.Facilities[idx].Locations = orig
-		m.Invalidate()
-	}()
-	series := stats.Series{Name: fmt.Sprintf("%s(%s)", p.Name(), m.Facilities[idx].Name)}
 	for _, L := range locations {
 		if L < 0 {
 			return stats.Series{}, fmt.Errorf("core: negative location count %d", L)
 		}
-		m.Facilities[idx].Locations = L
-		m.Invalidate()
-		profits, err := Profits(m, p)
+	}
+	ys, err := sweep.RunErr(len(locations), 0, func(k int) (float64, error) {
+		point := m.CloneWith(func(fs []Facility) { fs[idx].Locations = locations[k] })
+		profits, err := Profits(point, p)
 		if err != nil {
-			return stats.Series{}, err
+			return 0, err
 		}
-		series.Add(float64(L), profits[idx])
+		return profits[idx], nil
+	})
+	if err != nil {
+		return stats.Series{}, err
+	}
+	series := stats.Series{Name: fmt.Sprintf("%s(%s)", p.Name(), m.Facilities[idx].Name)}
+	for k, L := range locations {
+		series.Add(float64(L), ys[k])
 	}
 	return series, nil
 }

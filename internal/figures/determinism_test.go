@@ -1,0 +1,52 @@
+package figures
+
+import (
+	"testing"
+
+	"fedshare/internal/allocation"
+	"fedshare/internal/sweep"
+)
+
+// TestFiguresByteIdenticalAcrossWorkers is the pipeline's end-to-end
+// determinism check: every figure's rendered table must be byte-identical
+// whether the sweeps run sequentially or on a multi-worker pool, and
+// whether the allocation memo is serving hits or disabled entirely.
+func TestFiguresByteIdenticalAcrossWorkers(t *testing.T) {
+	render := func() map[string]string {
+		out := map[string]string{}
+		for _, f := range All() {
+			out[f.ID] = f.Table()
+		}
+		return out
+	}
+
+	orig := sweep.SetDefaultWorkers(1)
+	defer sweep.SetDefaultWorkers(orig)
+	allocation.DefaultMemo.Reset()
+	baseline := render()
+
+	for _, workers := range []int{1, 4} {
+		sweep.SetDefaultWorkers(workers)
+		// First pass repopulates the memo, second pass is served from it.
+		for pass := 0; pass < 2; pass++ {
+			if pass == 0 {
+				allocation.DefaultMemo.Reset()
+			}
+			got := render()
+			for id, want := range baseline {
+				if got[id] != want {
+					t.Fatalf("figure %s diverged with workers=%d pass=%d", id, workers, pass)
+				}
+			}
+		}
+	}
+
+	wasEnabled := allocation.DefaultMemo.SetEnabled(false)
+	defer allocation.DefaultMemo.SetEnabled(wasEnabled)
+	got := render()
+	for id, want := range baseline {
+		if got[id] != want {
+			t.Fatalf("figure %s diverged with memo disabled", id)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fedshare/internal/core"
 	"fedshare/internal/economics"
 	"fedshare/internal/stats"
+	"fedshare/internal/sweep"
 )
 
 // Figure is one regenerated paper figure.
@@ -67,11 +68,19 @@ func batchModel(locs []int, caps []float64, l float64, k int) *core.Model {
 	return m
 }
 
+var facilityNames = [...]string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8"}
+
 func threeFacilities(locs []int, caps []float64) []core.Facility {
 	fs := make([]core.Facility, len(locs))
 	for i := range locs {
+		name := ""
+		if i < len(facilityNames) {
+			name = facilityNames[i]
+		} else {
+			name = fmt.Sprintf("F%d", i+1)
+		}
 		fs[i] = core.Facility{
-			Name:      fmt.Sprintf("F%d", i+1),
+			Name:      name,
 			Locations: locs[i],
 			Resources: caps[i],
 		}
@@ -90,10 +99,14 @@ func mustShares(m *core.Model, p core.Policy) []float64 {
 }
 
 // shareSweep runs a sweep building a model per x value and records φ̂ and π̂
-// (and optionally ρ̂) per facility. Each point runs on the batched
-// coalition-lattice kernel: the model's concurrency-safe game cache lets
-// the 2^n coalition allocations solve in parallel, and one sweep then
-// yields every facility's Shapley value at once.
+// (and optionally ρ̂) per facility. The sweep points are independent — each
+// owns a private Model and game cache — so they evaluate concurrently on
+// the sweep worker pool (sweep.Run preserves deterministic point order, so
+// the output series are byte-identical to a sequential run). Within a
+// point, the batched coalition-lattice kernel solves the 2^n coalition
+// allocations, each served from the aggregate-keyed allocation memo when
+// its (pool, demand) signature already appeared — at another point, in a
+// symmetric coalition, or in an earlier figure run.
 func shareSweep(xs []float64, build func(x float64) *core.Model, withRho bool) []stats.Series {
 	const n = 3
 	mkSeries := func(symbol string) []stats.Series {
@@ -109,19 +122,26 @@ func shareSweep(xs []float64, build func(x float64) *core.Model, withRho bool) [
 	if withRho {
 		rho = mkSeries("rho")
 	}
-	for _, x := range xs {
-		m := build(x)
-		phiS := mustShares(m, core.ShapleyPolicy{})
-		piS := mustShares(m, core.ProportionalPolicy{})
-		var rhoS []float64
-		if withRho {
-			rhoS = mustShares(m, core.ConsumptionPolicy{})
+	type point struct {
+		phi, pi, rho []float64
+	}
+	pts := sweep.Run(len(xs), 0, func(k int) point {
+		m := build(xs[k])
+		pt := point{
+			phi: mustShares(m, core.ShapleyPolicy{}),
+			pi:  mustShares(m, core.ProportionalPolicy{}),
 		}
+		if withRho {
+			pt.rho = mustShares(m, core.ConsumptionPolicy{})
+		}
+		return pt
+	})
+	for k, x := range xs {
 		for i := 0; i < n; i++ {
-			phi[i].Add(x, phiS[i])
-			pi[i].Add(x, piS[i])
+			phi[i].Add(x, pts[k].phi[i])
+			pi[i].Add(x, pts[k].pi[i])
 			if withRho {
-				rho[i].Add(x, rhoS[i])
+				rho[i].Add(x, pts[k].rho[i])
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"fedshare/internal/core"
 	"fedshare/internal/economics"
+	"fedshare/internal/sweep"
 )
 
 // WeightTable is the paper's proposed practical artifact (Sec. 3.2.3): the
@@ -39,6 +40,11 @@ func BuildWeightTable(facilities []core.Facility, thresholds []float64, volumes 
 	for _, f := range facilities {
 		t.Facilities = append(t.Facilities, f.Name)
 	}
+	type scenario struct {
+		l float64
+		k int
+	}
+	var grid []scenario
 	for _, l := range thresholds {
 		if l < 0 {
 			return nil, fmt.Errorf("policy: negative threshold %g", l)
@@ -47,27 +53,37 @@ func BuildWeightTable(facilities []core.Facility, thresholds []float64, volumes 
 			if k <= 0 {
 				return nil, fmt.Errorf("policy: non-positive volume %d", k)
 			}
-			wl, err := economics.NewWorkload(economics.DemandClass{
-				Type: economics.ExperimentType{
-					Name: "scenario", MinLocations: l, MaxLocations: math.Inf(1),
-					Resources: 1, HoldingTime: 1, Shape: 1,
-				},
-				Count: k,
-			})
-			if err != nil {
-				return nil, err
-			}
-			m, err := core.NewModel(append([]core.Facility(nil), facilities...), wl)
-			if err != nil {
-				return nil, err
-			}
-			shares, err := core.ShapleyPolicy{}.Shares(m)
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, WeightRow{Threshold: l, Volume: k, Shares: shares})
+			grid = append(grid, scenario{l: l, k: k})
 		}
 	}
+	// Scenarios are independent games: evaluate them on the sweep worker
+	// pool, deterministic row order preserved by index.
+	rows, err := sweep.RunErr(len(grid), 0, func(i int) (WeightRow, error) {
+		s := grid[i]
+		wl, err := economics.NewWorkload(economics.DemandClass{
+			Type: economics.ExperimentType{
+				Name: "scenario", MinLocations: s.l, MaxLocations: math.Inf(1),
+				Resources: 1, HoldingTime: 1, Shape: 1,
+			},
+			Count: s.k,
+		})
+		if err != nil {
+			return WeightRow{}, err
+		}
+		m, err := core.NewModel(append([]core.Facility(nil), facilities...), wl)
+		if err != nil {
+			return WeightRow{}, err
+		}
+		shares, err := core.ShapleyPolicy{}.Shares(m)
+		if err != nil {
+			return WeightRow{}, err
+		}
+		return WeightRow{Threshold: s.l, Volume: s.k, Shares: shares}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	sort.Slice(t.Rows, func(a, b int) bool {
 		if t.Rows[a].Threshold != t.Rows[b].Threshold {
 			return t.Rows[a].Threshold < t.Rows[b].Threshold

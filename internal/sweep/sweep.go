@@ -1,0 +1,117 @@
+// Package sweep runs independent parameter-sweep points on a bounded
+// worker pool. Every paper figure is a sweep — 20–30 points, each building
+// and solving a private federation game — and the points share no state, so
+// they parallelize perfectly; the runner preserves deterministic point
+// ordering in the output regardless of completion order, so figure tables
+// are byte-identical to the sequential path.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the pool size used when Run is called with workers <= 0;
+// 0 means GOMAXPROCS. Set from fedsim's -sweep-workers flag.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the pool size used when Run receives workers <= 0
+// (n <= 0 restores the GOMAXPROCS default) and returns the previous value.
+func SetDefaultWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// DefaultWorkers returns the current default pool size (0 = GOMAXPROCS).
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// resolve maps a workers argument to a concrete pool size.
+func resolve(workers int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Run evaluates fn(i) for every i in [0, n) on a pool of the given size
+// (workers <= 0 uses the package default) and returns the results indexed
+// by i — output order is deterministic no matter how the points race. Each
+// index is evaluated exactly once. A panic in fn is re-raised in the
+// caller's goroutine after the pool drains, matching the sequential path.
+func Run[T any](n, workers int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	w := resolve(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+	return out
+}
+
+// RunErr is Run for point functions that can fail: it evaluates fn(i) for
+// every i in [0, n) and returns the ordered results together with the
+// lowest-indexed error (matching what a sequential loop would surface).
+func RunErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	type point struct {
+		v   T
+		err error
+	}
+	pts := Run(n, workers, func(i int) point {
+		v, err := fn(i)
+		return point{v: v, err: err}
+	})
+	out := make([]T, len(pts))
+	for i, p := range pts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		out[i] = p.v
+	}
+	return out, nil
+}

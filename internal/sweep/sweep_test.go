@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunOrderDeterministic checks that results land at their point index
+// regardless of completion order (late points finish first here).
+func TestRunOrderDeterministic(t *testing.T) {
+	n := 50
+	out := Run(n, 8, func(i int) int {
+		time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+		return i * i
+	})
+	if len(out) != n {
+		t.Fatalf("got %d results, want %d", len(out), n)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestRunEvaluatesEachIndexOnce counts invocations per index.
+func TestRunEvaluatesEachIndexOnce(t *testing.T) {
+	n := 200
+	counts := make([]atomic.Int64, n)
+	Run(n, 16, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d evaluated %d times", i, c)
+		}
+	}
+}
+
+// TestRunSequentialFallback checks workers <= 1 and tiny n run inline.
+func TestRunSequentialFallback(t *testing.T) {
+	for _, w := range []int{1, -5} {
+		out := Run(3, w, func(i int) int { return i })
+		if len(out) != 3 || out[2] != 2 {
+			t.Fatalf("workers=%d: %v", w, out)
+		}
+	}
+	if out := Run(0, 4, func(i int) int { return i }); out != nil {
+		t.Fatalf("n=0 should return nil, got %v", out)
+	}
+}
+
+// TestRunPanicPropagates checks a point panic re-raises in the caller, as a
+// sequential loop would.
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	Run(20, 4, func(i int) int {
+		if i == 7 {
+			panic("point failure")
+		}
+		return i
+	})
+}
+
+// TestRunErrReturnsLowestIndexedError matches the sequential-loop contract:
+// the error surfaced is the one the lowest-indexed failing point produced.
+func TestRunErrReturnsLowestIndexedError(t *testing.T) {
+	fail := func(i int) error {
+		if i == 3 || i == 11 {
+			return &testError{i}
+		}
+		return nil
+	}
+	_, e := RunErr(20, 8, func(i int) (int, error) { return i, fail(i) })
+	if e == nil {
+		t.Fatal("expected an error")
+	}
+	if te, ok := e.(*testError); !ok || te.i != 3 {
+		t.Fatalf("got %v, want error from index 3", e)
+	}
+
+	out, e := RunErr(10, 4, func(i int) (int, error) { return 2 * i, nil })
+	if e != nil || out[9] != 18 {
+		t.Fatalf("clean run: %v, %v", out, e)
+	}
+}
+
+type testError struct{ i int }
+
+func (e *testError) Error() string { return "point failed" }
+
+// TestSetDefaultWorkers checks the default round-trips and clamps.
+func TestSetDefaultWorkers(t *testing.T) {
+	orig := SetDefaultWorkers(3)
+	defer SetDefaultWorkers(orig)
+	if DefaultWorkers() != 3 {
+		t.Fatalf("default = %d, want 3", DefaultWorkers())
+	}
+	if prev := SetDefaultWorkers(-1); prev != 3 {
+		t.Fatalf("swap returned %d, want 3", prev)
+	}
+	if DefaultWorkers() != 0 {
+		t.Fatalf("negative should clamp to 0, got %d", DefaultWorkers())
+	}
+	out := Run(5, 0, func(i int) int { return i + 1 }) // resolves via GOMAXPROCS
+	if out[4] != 5 {
+		t.Fatalf("default-resolved run: %v", out)
+	}
+}
