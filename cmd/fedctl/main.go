@@ -7,15 +7,19 @@
 //	fedctl -addr 127.0.0.1:7001 -secret fed-secret slice create myexp -min-sites 15
 //	fedctl -addr 127.0.0.1:7001 -secret fed-secret slice delete myexp
 //	fedctl -addr 127.0.0.1:7001 shares -policy shapley
+//	fedctl metrics 127.0.0.1:9090
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"time"
 
+	"fedshare/internal/obs"
 	"fedshare/internal/rspec"
 	"fedshare/internal/sfa"
 )
@@ -29,6 +33,18 @@ func main() {
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// The metrics command talks HTTP to a daemon's -metrics-addr endpoint,
+	// not the SFA wire protocol, so it is handled before dialing.
+	if args[0] == "metrics" {
+		if len(args) != 2 {
+			usage()
+		}
+		if err := printMetrics(args[1]); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	client, err := sfa.Dial(*addr, 10*time.Second)
@@ -141,6 +157,59 @@ func main() {
 	}
 }
 
+// printMetrics fetches a daemon's JSON metrics snapshot and renders it as
+// a table: counters and gauges one line each, histograms as
+// count/mean/max-bucket summaries.
+func printMetrics(addr string) error {
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpc.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics fetch: %s", resp.Status)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("metrics decode: %w", err)
+	}
+	for _, f := range snap.Families {
+		fmt.Printf("%s (%s)", f.Name, f.Type)
+		if f.Help != "" {
+			fmt.Printf("  %s", f.Help)
+		}
+		fmt.Println()
+		for _, m := range f.Metrics {
+			label := "-"
+			if len(m.Labels) > 0 {
+				keys := make([]string, 0, len(m.Labels))
+				for k := range m.Labels {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				label = ""
+				for i, k := range keys {
+					if i > 0 {
+						label += ","
+					}
+					label += k + "=" + m.Labels[k]
+				}
+			}
+			if f.Type == "histogram" {
+				mean := 0.0
+				if m.Count > 0 {
+					mean = m.Sum / float64(m.Count)
+				}
+				fmt.Printf("  %-40s count=%d sum=%.6gs mean=%.6gs\n", label, m.Count, m.Sum, mean)
+				continue
+			}
+			fmt.Printf("  %-40s %g\n", label, m.Value)
+		}
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fedctl [-addr A] [-secret S] <command>
 commands:
@@ -150,7 +219,8 @@ commands:
   slice create <name> [-min-sites N] [-max-sites N] [-per-site N]
   slice delete <name>
   shares [-policy shapley|proportional|consumption|equal|nucleolus|banzhaf]
-  usage`)
+  usage
+  metrics <metrics-addr>    fetch and render a daemon's /metrics.json snapshot`)
 	os.Exit(2)
 }
 

@@ -3,20 +3,28 @@
 // Usage:
 //
 //	fedd -name PLE -listen 127.0.0.1:7002 -sites 40 -nodes 2 -capacity 10 \
-//	     -secret fed-secret -peer 127.0.0.1:7001
+//	     -secret fed-secret -peer 127.0.0.1:7001 \
+//	     -metrics-addr 127.0.0.1:9090 -log-level info
 //
 // The daemon serves the SFA wire protocol: resource advertisement, peering,
-// federated slice embedding, and value-share computation.
+// federated slice embedding, and value-share computation. With
+// -metrics-addr it also serves the observability endpoint: Prometheus text
+// format at /metrics and a JSON snapshot at /metrics.json (the latter is
+// what `fedctl metrics` renders). At -log-level debug every dispatched
+// request and span is logged as a structured key=value line.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"fedshare/internal/obs"
 	"fedshare/internal/planetlab"
 	"fedshare/internal/sfa"
 )
@@ -29,10 +37,17 @@ func main() {
 	capacity := flag.Int("capacity", 10, "sliver capacity per node")
 	secret := flag.String("secret", "", "shared federation secret (required)")
 	peer := flag.String("peer", "", "optional peer registry address to federate with at startup")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, or error")
 	flag.Parse()
 
 	if *secret == "" {
 		fmt.Fprintln(os.Stderr, "fedd: -secret is required")
+		os.Exit(2)
+	}
+	level, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedd:", err)
 		os.Exit(2)
 	}
 	if *sites < 0 || *nodes <= 0 || *capacity <= 0 {
@@ -58,11 +73,30 @@ func main() {
 		}
 	}
 
-	srv := sfa.NewServer(auth, []byte(*secret))
+	srv := sfa.NewServer(auth, []byte(*secret), sfa.WithLogLevel(level))
+	if level <= obs.LogDebug {
+		// Route span trace lines through the same log stream as server
+		// diagnostics.
+		obs.SetTraceSink(obs.NewLogger(log.Printf, obs.LogDebug).TraceSink())
+	}
 	if err := srv.Start(*listen); err != nil {
 		log.Fatalf("fedd: %v", err)
 	}
 	log.Printf("fedd: %s serving %d sites on %s", *name, *sites, srv.Addr())
+
+	if *metricsAddr != "" {
+		obs.RegisterRuntimeMetrics(obs.Default)
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("fedd: metrics listen %s: %v", *metricsAddr, err)
+		}
+		log.Printf("fedd: metrics on http://%s/metrics", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, obs.Handler()); err != nil {
+				log.Printf("fedd: metrics server: %v", err)
+			}
+		}()
+	}
 
 	if *peer != "" {
 		if err := srv.PeerWith(*peer); err != nil {

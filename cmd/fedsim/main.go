@@ -7,11 +7,13 @@
 //	fedsim -all               # every figure
 //	fedsim -fig fig4 -chart   # with an ASCII chart
 //	fedsim -all -v            # per-figure wall-clock + allocation-memo stats
+//	fedsim -all -json         # machine-readable run summary (timings + metrics)
 //	fedsim -diagram           # the federation-model and game diagrams
 //	fedsim -weights           # offline Shapley weight table (Sec. 3.2.3)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ import (
 	"fedshare/internal/asciichart"
 	"fedshare/internal/core"
 	"fedshare/internal/figures"
+	"fedshare/internal/obs"
 	"fedshare/internal/policy"
 	"fedshare/internal/sweep"
 )
@@ -44,6 +47,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers for the coalition kernel (0 = all cores)")
 	sweepWorkers := flag.Int("sweep-workers", 0, "parallel workers for figure/parameter sweeps (0 = all cores, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print per-figure wall-clock and allocation-memo hit-rate summaries")
+	jsonOut := flag.Bool("json", false, "suppress tables and emit a JSON run summary (per-figure timings + obs metrics snapshot)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -90,6 +94,10 @@ func main() {
 		}
 	}()
 
+	run := runConfig{
+		chart: *chart, width: *width, height: *height,
+		verbose: *verbose, jsonOut: *jsonOut,
+	}
 	switch {
 	case *diagram:
 		printDiagrams()
@@ -97,35 +105,75 @@ func main() {
 		printWeightTable()
 	case *all:
 		for _, id := range allFigureIDs {
-			if err := runFigure(id, *chart, *width, *height, *verbose); err != nil {
+			if err := run.figure(id); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
 		}
+		run.finish()
 	case *figID != "":
-		if err := runFigure(*figID, *chart, *width, *height, *verbose); err != nil {
+		if err := run.figure(*figID); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		run.finish()
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-// runFigure regenerates one figure, timing the generation (not the
-// rendering) and attributing allocation-memo traffic to it when verbose.
-func runFigure(id string, chart bool, w, h int, verbose bool) error {
+// runConfig carries output options and accumulates the -json summary.
+type runConfig struct {
+	chart         bool
+	width, height int
+	verbose       bool
+	jsonOut       bool
+	figureSummary []figureSummary
+}
+
+// figureSummary is one figure's entry in the -json run summary.
+type figureSummary struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	WallClockNS int64  `json:"wall_clock_ns"`
+	MemoHits    int64  `json:"memo_hits"`
+	MemoMisses  int64  `json:"memo_misses"`
+	SeriesCount int    `json:"series"`
+}
+
+// runSummary is the fedsim -json document: per-figure timings plus the
+// end-of-run state of the process metrics registry — the same registry
+// fedd serves over HTTP.
+type runSummary struct {
+	Figures []figureSummary `json:"figures"`
+	Metrics obs.Snapshot    `json:"metrics"`
+}
+
+// figure regenerates one figure, timing the generation (not the
+// rendering) and attributing allocation-memo traffic to it.
+func (rc *runConfig) figure(id string) error {
 	before := allocation.DefaultMemo.Stats()
+	sp := obs.StartSpan("fedsim.figure").Attr("fig", id)
 	start := time.Now()
 	f, err := figures.ByID(id)
 	if err != nil {
 		return err
 	}
 	elapsed := time.Since(start)
-	printFigure(f, chart, w, h)
-	if verbose {
-		after := allocation.DefaultMemo.Stats()
+	sp.End()
+	after := allocation.DefaultMemo.Stats()
+	if rc.jsonOut {
+		rc.figureSummary = append(rc.figureSummary, figureSummary{
+			ID: f.ID, Title: f.Title, WallClockNS: elapsed.Nanoseconds(),
+			MemoHits:    after.Hits - before.Hits,
+			MemoMisses:  after.Misses - before.Misses,
+			SeriesCount: len(f.Series),
+		})
+		return nil
+	}
+	printFigure(f, rc.chart, rc.width, rc.height)
+	if rc.verbose {
 		hits := after.Hits - before.Hits
 		misses := after.Misses - before.Misses
 		rate := 0.0
@@ -136,6 +184,19 @@ func runFigure(id string, chart bool, w, h int, verbose bool) error {
 			f.ID, elapsed.Round(time.Microsecond), hits, misses, 100*rate)
 	}
 	return nil
+}
+
+// finish emits the JSON run summary when -json is set.
+func (rc *runConfig) finish() {
+	if !rc.jsonOut {
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(runSummary{Figures: rc.figureSummary, Metrics: obs.Default.Snapshot()}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func printFigure(f *figures.Figure, chart bool, w, h int) {

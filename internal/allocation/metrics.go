@@ -1,0 +1,22 @@
+package allocation
+
+import "fedshare/internal/obs"
+
+// The memo already counts hits/misses/entries in private atomics (they
+// reset with Memo.Reset, hence gauges, not counters). Exporting them as
+// callback gauges reads the existing counters at scrape time, so the
+// Solve hot path is untouched.
+func init() {
+	obs.Default.GaugeFunc("fedshare_alloc_memo_hits",
+		"Allocation-memo lookups served from the table since start/reset.",
+		func() float64 { return float64(DefaultMemo.Stats().Hits) })
+	obs.Default.GaugeFunc("fedshare_alloc_memo_misses",
+		"Allocation-memo lookups that required a fresh solve since start/reset.",
+		func() float64 { return float64(DefaultMemo.Stats().Misses) })
+	obs.Default.GaugeFunc("fedshare_alloc_memo_entries",
+		"Entries currently stored in the allocation memo.",
+		func() float64 { return float64(DefaultMemo.Stats().Entries) })
+	obs.Default.GaugeFunc("fedshare_alloc_memo_hit_ratio",
+		"Fraction of allocation-memo lookups served from the table.",
+		func() float64 { return DefaultMemo.Stats().HitRate() })
+}

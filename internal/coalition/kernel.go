@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // snapshotMaxPlayers bounds the games whose characteristic function can be
@@ -38,8 +39,17 @@ func BatchedValues(t *Table) Batched {
 	if n == 0 {
 		return res
 	}
+	batchesTotal.Inc()
+	timed := len(t.Values) >= batchTimingMinCoalitions
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	sweepRange(t.Values, shapleyWeights(n), 1, uint64(len(t.Values)), res.Shapley, res.Banzhaf)
 	scaleBanzhaf(res.Banzhaf, n)
+	if timed {
+		batchSeconds.ObserveDuration(time.Since(start))
+	}
 	return res
 }
 
@@ -62,6 +72,11 @@ func BatchedValuesParallel(t *Table, workers int) Batched {
 	// Below ~2^12 coalitions per worker the spawn cost dominates the sweep.
 	if maxW := int(size >> 12); workers > maxW {
 		workers = max(1, maxW)
+	}
+	batchesTotal.Inc()
+	if len(t.Values) >= batchTimingMinCoalitions {
+		start := time.Now()
+		defer func() { batchSeconds.ObserveDuration(time.Since(start)) }()
 	}
 	if workers == 1 {
 		sweepRange(t.Values, shapleyWeights(n), 1, size, res.Shapley, res.Banzhaf)

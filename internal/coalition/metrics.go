@@ -1,0 +1,25 @@
+package coalition
+
+import "fedshare/internal/obs"
+
+// Process-wide instrumentation for the coalition engine. SafeCache
+// evaluations are counted with one extra atomic add per *distinct*
+// coalition evaluation — each of which runs a full characteristic-function
+// solve, so the add is noise. Batch sweeps are always counted; durations
+// are recorded only for lattices of at least batchTimingMinCoalitions
+// entries, because on smaller games the two clock reads would cost more
+// than the sweep they time and the histogram would measure the clock, not
+// the kernel.
+var (
+	cacheEvaluations = obs.Default.Counter("fedshare_coalition_cache_evaluations_total",
+		"Distinct coalition values computed through SafeCache instances.")
+	batchesTotal = obs.Default.Counter("fedshare_coalition_batches_total",
+		"Batched coalition-lattice sweeps (BatchedValues and BatchedValuesParallel).")
+	batchSeconds = obs.Default.Histogram("fedshare_coalition_batch_seconds",
+		"Durations of batched coalition-lattice sweeps over at least 2^8 coalitions.",
+		nil)
+)
+
+// batchTimingMinCoalitions is the smallest lattice worth timing: below
+// 2^8 coalitions a sweep finishes in well under a microsecond.
+const batchTimingMinCoalitions = 1 << 8

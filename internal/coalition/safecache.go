@@ -70,6 +70,7 @@ func (c *SafeCache) Value(s combin.Set) float64 {
 		c.dense[s] = v
 		c.seen[s] = true
 		c.evals.Add(1)
+		cacheEvaluations.Inc()
 		return v
 	}
 	if v, ok := c.maps[k][s]; ok {
@@ -78,6 +79,7 @@ func (c *SafeCache) Value(s combin.Set) float64 {
 	v := c.inner.Value(s)
 	c.maps[k][s] = v
 	c.evals.Add(1)
+	cacheEvaluations.Inc()
 	return v
 }
 

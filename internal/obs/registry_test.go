@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d, want 5", c.Value())
+	}
+	// Idempotent registration returns the same child.
+	if r.Counter("test_total", "a counter") != c {
+		t.Error("re-registration should return the existing counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add must panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "a gauge")
+	g.Set(4.5)
+	g.Add(-1.5)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 3 {
+		t.Errorf("value = %g, want 3", g.Value())
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 7.0
+	r.GaugeFunc("cb", "callback gauge", func() float64 { return v })
+	snap := r.Snapshot()
+	if len(snap.Families) != 1 || snap.Families[0].Metrics[0].Value != 7 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	v = 9
+	if got := r.Snapshot().Families[0].Metrics[0].Value; got != 9 {
+		t.Errorf("callback gauge = %g, want 9", got)
+	}
+}
+
+func TestLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	vec := r.CounterVec("req_total", "requests", "method")
+	vec.With("ping").Inc()
+	vec.With("ping").Inc()
+	vec.With("shares").Inc()
+	if vec.With("ping").Value() != 2 || vec.With("shares").Value() != 1 {
+		t.Error("labeled children must be independent")
+	}
+	snap := r.Snapshot()
+	if len(snap.Families[0].Metrics) != 2 {
+		t.Fatalf("want 2 children, got %+v", snap.Families[0].Metrics)
+	}
+	// Children are sorted by label value.
+	if snap.Families[0].Metrics[0].Labels["method"] != "ping" {
+		t.Errorf("children not sorted: %+v", snap.Families[0].Metrics)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.605) > 1e-12 {
+		t.Errorf("sum = %g", h.Sum())
+	}
+	m := r.Snapshot().Families[0].Metrics[0]
+	wantCum := []uint64{1, 3, 4} // <=0.01, <=0.1, <=1
+	for i, b := range m.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%g count=%d, want %d", b.LE, b.Count, wantCum[i])
+		}
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 6 {
+		t.Errorf("count after ObserveDuration = %d", h.Count())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 10, 4)
+	want := []float64{1e-6, 1e-5, 1e-4, 1e-3}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Errorf("bucket %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentRegistry hammers family creation, labeled-child creation,
+// metric updates, and snapshotting from many goroutines; run under -race.
+func TestConcurrentRegistry(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const workers = 8
+	const iters = 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared_total", "").Inc()
+				r.CounterVec("labeled_total", "", "m").With("a").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "", []float64{1, 2, 4}).Observe(float64(i % 5))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	const want = workers * iters
+	if got := r.Counter("shared_total", "").Value(); got != want {
+		t.Errorf("shared counter = %d, want %d", got, want)
+	}
+	if got := r.CounterVec("labeled_total", "", "m").With("a").Value(); got != want {
+		t.Errorf("labeled counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("g", "").Value(); got != want {
+		t.Errorf("gauge = %g, want %d", got, want)
+	}
+	if got := r.Histogram("h", "", []float64{1, 2, 4}).Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}

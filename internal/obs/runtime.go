@@ -1,0 +1,26 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics registers process-level gauges (goroutine count,
+// heap usage, GC cycles) on r. Daemons call this once at startup; the
+// callbacks run only at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("fedshare_go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("fedshare_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	r.GaugeFunc("fedshare_go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+}

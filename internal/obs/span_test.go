@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsHistogram(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("solve")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Errorf("duration = %v", d)
+	}
+	h := r.spanSeconds().With("solve")
+	if h.Count() != 1 {
+		t.Errorf("histogram count = %d, want 1", h.Count())
+	}
+	if h.Sum() < 0.001 {
+		t.Errorf("histogram sum = %g", h.Sum())
+	}
+}
+
+func TestSpanTraceSink(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	var lines []string
+	r.SetTraceSink(func(line string) {
+		mu.Lock()
+		lines = append(lines, line)
+		mu.Unlock()
+	})
+	r.StartSpan("embed").Attr("slice", "exp1").Attr("sites", 5).Attr("note", "two words").End()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 1 {
+		t.Fatalf("lines = %v", lines)
+	}
+	l := lines[0]
+	if !strings.HasPrefix(l, "span=embed dur=") {
+		t.Errorf("line = %q", l)
+	}
+	for _, want := range []string{"slice=exp1", "sites=5", `note="two words"`} {
+		if !strings.Contains(l, want) {
+			t.Errorf("line %q missing %q", l, want)
+		}
+	}
+}
+
+func TestSpanNoSinkIsQuiet(t *testing.T) {
+	r := NewRegistry()
+	// Attrs on a sink-less span are dropped without formatting.
+	sp := r.StartSpan("quiet").Attr("k", "v")
+	if len(sp.attrs) != 0 {
+		t.Error("attrs should not be retained without a sink")
+	}
+	sp.End()
+	if r.spanSeconds().With("quiet").Count() != 1 {
+		t.Error("histogram must still record without a sink")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	out := func(format string, args ...interface{}) {
+		mu.Lock()
+		got = append(got, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	l := NewLogger(out, LogInfo)
+	l.Debugf("hidden %d", 1)
+	l.Infof("shown %d", 2)
+	l.Errorf("loud %d", 3)
+	mu.Lock()
+	if len(got) != 2 || got[0] != "level=info shown 2" || got[1] != "level=error loud 3" {
+		t.Errorf("got = %q", got)
+	}
+	mu.Unlock()
+
+	if l.TraceSink() != nil {
+		t.Error("trace sink must be nil above debug level")
+	}
+	l.SetLevel(LogDebug)
+	sink := l.TraceSink()
+	if sink == nil {
+		t.Fatal("trace sink must exist at debug level")
+	}
+	sink("span=x dur=1ms")
+	mu.Lock()
+	defer mu.Unlock()
+	if got[len(got)-1] != "level=debug span=x dur=1ms" {
+		t.Errorf("sink line = %q", got[len(got)-1])
+	}
+}
+
+func TestParseLogLevel(t *testing.T) {
+	for s, want := range map[string]LogLevel{"debug": LogDebug, "Info": LogInfo, "ERROR": LogError} {
+		got, err := ParseLogLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLogLevel("chatty"); err == nil {
+		t.Error("bad level must error")
+	}
+}
+
+func TestNilLoggerOutput(t *testing.T) {
+	l := NewLogger(nil, LogDebug)
+	l.Infof("dropped") // must not panic
+	if s := l.TraceSink(); s != nil {
+		s("also dropped")
+	}
+}

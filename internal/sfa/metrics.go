@@ -1,0 +1,47 @@
+package sfa
+
+import "fedshare/internal/obs"
+
+// serverMetrics bundles one registry's SFA instrumentation. Families are
+// resolved once per Server; registration is idempotent, so any number of
+// servers (e.g. a test federation) can share one registry.
+type serverMetrics struct {
+	requests       *obs.CounterVec   // fedshare_sfa_requests_total{method}
+	errors         *obs.CounterVec   // fedshare_sfa_errors_total{method}
+	latency        *obs.HistogramVec // fedshare_sfa_request_seconds{method}
+	activeConns    *obs.Gauge        // fedshare_sfa_active_connections
+	peers          *obs.Gauge        // fedshare_sfa_peers
+	acceptErrors   *obs.Counter      // fedshare_sfa_accept_errors_total
+	protocolErrors *obs.Counter      // fedshare_sfa_protocol_errors_total
+}
+
+func newServerMetrics(r *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		requests: r.CounterVec("fedshare_sfa_requests_total",
+			"SFA requests dispatched, by method.", "method"),
+		errors: r.CounterVec("fedshare_sfa_errors_total",
+			"SFA requests that returned an error, by method.", "method"),
+		latency: r.HistogramVec("fedshare_sfa_request_seconds",
+			"SFA request handling latency, by method.", nil, "method"),
+		activeConns: r.Gauge("fedshare_sfa_active_connections",
+			"Currently open SFA client connections."),
+		peers: r.Gauge("fedshare_sfa_peers",
+			"Authorities currently peered with this registry."),
+		acceptErrors: r.Counter("fedshare_sfa_accept_errors_total",
+			"Accept-loop failures (each also backs off the loop)."),
+		protocolErrors: r.Counter("fedshare_sfa_protocol_errors_total",
+			"Connections dropped on malformed or oversized frames."),
+	}
+}
+
+// methodLabel clamps unknown method names to one label value so a client
+// probing random methods cannot grow the registry without bound.
+func methodLabel(method string) string {
+	switch method {
+	case MethodPing, MethodGetRecord, MethodListResources, MethodPeer,
+		MethodCreateSlice, MethodDeleteSlice, MethodReserve, MethodRelease,
+		MethodGetShares, MethodGetUsage:
+		return method
+	}
+	return "unknown"
+}

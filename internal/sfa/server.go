@@ -5,15 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"fedshare/internal/core"
 	"fedshare/internal/economics"
+	"fedshare/internal/obs"
 	"fedshare/internal/planetlab"
 )
 
@@ -21,10 +24,12 @@ import (
 // TCP, manages peering, embeds federated slices, and computes value shares
 // from the federation's advertised contributions.
 type Server struct {
-	auth   *planetlab.Authority
-	secret []byte
-	demand *economics.Workload
-	logf   func(format string, args ...interface{})
+	auth    *planetlab.Authority
+	secret  []byte
+	demand  *economics.Workload
+	log     *obs.Logger
+	obsreg  *obs.Registry
+	metrics *serverMetrics
 
 	mu         sync.Mutex
 	record     AuthorityRecord
@@ -47,9 +52,23 @@ type peerHandle struct {
 // Option customizes a Server.
 type Option func(*Server)
 
-// WithLogger routes server diagnostics to logf (default: log.Printf).
+// WithLogger routes server diagnostics to logf (default: log.Printf). The
+// server wraps logf in a leveled obs.Logger at the current level, so
+// WithLogger composes with WithLogLevel in either order.
 func WithLogger(logf func(string, ...interface{})) Option {
-	return func(s *Server) { s.logf = logf }
+	return func(s *Server) { s.log = obs.NewLogger(logf, s.log.Level()) }
+}
+
+// WithLogLevel sets the minimum diagnostic level (default obs.LogInfo).
+// At obs.LogDebug the server also logs one line per dispatched request.
+func WithLogLevel(min obs.LogLevel) Option {
+	return func(s *Server) { s.log.SetLevel(min) }
+}
+
+// WithMetrics routes the server's instrumentation to reg instead of
+// obs.Default — tests use this to read counters in isolation.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.obsreg = reg }
 }
 
 // WithDemand sets the demand profile used by GetShares (default: a single
@@ -68,11 +87,13 @@ func NewServer(auth *planetlab.Authority, secret []byte, opts ...Option) *Server
 		remoteRefs: map[string][]SliverRecord{},
 		conns:      map[net.Conn]struct{}{},
 		usage:      map[string]int{},
-		logf:       log.Printf,
+		log:        obs.NewLogger(log.Printf, obs.LogInfo),
+		obsreg:     obs.Default,
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.metrics = newServerMetrics(s.obsreg)
 	return s
 }
 
@@ -115,6 +136,7 @@ func (s *Server) Close() error {
 	ln := s.ln
 	peers := s.peers
 	s.peers = map[string]*peerHandle{}
+	s.metrics.peers.Set(0)
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -136,16 +158,49 @@ func (s *Server) Close() error {
 	return err
 }
 
+// acceptBackoffMax caps the accept-loop retry delay.
+const acceptBackoffMax = time.Second
+
+// acceptLogInterval bounds the accept-error log rate: within the interval
+// further failures only bump the counter; the next emitted line reports
+// how many were suppressed.
+const acceptLogInterval = 5 * time.Second
+
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
+	var (
+		backoff    time.Duration
+		lastLog    time.Time
+		suppressed int
+	)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) {
-				s.logf("sfa[%s]: accept: %v", s.auth.Name, err)
+			if errors.Is(err, net.ErrClosed) {
+				return
 			}
-			return
+			// A flapping listener (EMFILE, transient network failure) must
+			// not spam the log or hot-loop: every failure increments the
+			// counter, logging is rate-limited, and the retry delay doubles
+			// up to a cap.
+			s.metrics.acceptErrors.Inc()
+			if now := time.Now(); now.Sub(lastLog) >= acceptLogInterval {
+				s.log.Errorf("sfa[%s]: accept: %v (%d earlier failures suppressed)",
+					s.auth.Name, err, suppressed)
+				lastLog = now
+				suppressed = 0
+			} else {
+				suppressed++
+			}
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -161,7 +216,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()
+	s.metrics.activeConns.Inc()
 	defer func() {
+		s.metrics.activeConns.Dec()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -174,7 +231,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		req, err := ReadFrame(r)
 		if err != nil {
-			return // EOF or protocol error: drop the connection
+			// EOF is a clean client close and a deadline is an idle drop;
+			// anything else is a malformed or oversized frame.
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				s.metrics.protocolErrors.Inc()
+				s.log.Debugf("sfa[%s]: dropping connection: %v", s.auth.Name, err)
+			}
+			return
 		}
 		resp := s.dispatch(req)
 		if err := WriteFrame(w, resp); err != nil {
@@ -187,12 +250,20 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req *Envelope) *Envelope {
+	label := methodLabel(req.Method)
+	start := time.Now()
 	resp := &Envelope{ID: req.ID}
 	result, err := s.handle(req.Method, req.Params)
+	dur := time.Since(start)
+	s.metrics.requests.With(label).Inc()
+	s.metrics.latency.With(label).Observe(dur.Seconds())
 	if err != nil {
+		s.metrics.errors.With(label).Inc()
+		s.log.Debugf("sfa[%s]: method=%s dur=%s err=%q", s.auth.Name, req.Method, dur, err)
 		resp.Error = err.Error()
 		return resp
 	}
+	s.log.Debugf("sfa[%s]: method=%s dur=%s", s.auth.Name, req.Method, dur)
 	resp.Result = marshal(result)
 	return resp
 }
@@ -286,10 +357,11 @@ func (s *Server) handlePeer(p PeerRequest) (*PeerResponse, error) {
 		_ = old.client.Close()
 	}
 	s.peers[p.Record.Name] = &peerHandle{record: p.Record, client: client}
+	s.metrics.peers.Set(float64(len(s.peers)))
 	rec := s.record
 	rec.Sites = s.auth.SiteCount()
 	s.mu.Unlock()
-	s.logf("sfa[%s]: peered with %s (%s)", s.auth.Name, p.Record.Name, p.Record.Addr)
+	s.log.Infof("sfa[%s]: peered with %s (%s)", s.auth.Name, p.Record.Name, p.Record.Addr)
 	return &PeerResponse{Record: rec}, nil
 }
 
@@ -346,6 +418,8 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 	if err := s.verify(p.Credential); err != nil {
 		return nil, err
 	}
+	sp := s.obsreg.StartSpan("sfa.embed").Attr("slice", p.Name)
+	defer sp.End()
 	per := p.SliversPerSite
 	if per <= 0 {
 		per = 1
@@ -402,7 +476,7 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 			Credential: cred, SliceName: p.Name, Sites: need, PerSite: per,
 		}, &rr)
 		if err != nil {
-			s.logf("sfa[%s]: reserve at %s failed: %v", s.auth.Name, ph.record.Name, err)
+			s.log.Errorf("sfa[%s]: reserve at %s failed: %v", s.auth.Name, ph.record.Name, err)
 			continue
 		}
 		siteSeen := map[string]bool{}
@@ -477,13 +551,13 @@ func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
 		ph := s.peers[name]
 		s.mu.Unlock()
 		if ph == nil {
-			s.logf("sfa[%s]: cannot release %d slivers at unknown peer %s", s.auth.Name, len(svs), name)
+			s.log.Errorf("sfa[%s]: cannot release %d slivers at unknown peer %s", s.auth.Name, len(svs), name)
 			continue
 		}
 		if err := ph.client.Call(MethodRelease, ReleaseRequest{
 			Credential: cred, SliceName: sliceName, Slivers: svs,
 		}, nil); err != nil {
-			s.logf("sfa[%s]: release at %s: %v", s.auth.Name, name, err)
+			s.log.Errorf("sfa[%s]: release at %s: %v", s.auth.Name, name, err)
 		}
 	}
 }
@@ -508,6 +582,8 @@ func (s *Server) peerList() []*peerHandle {
 // peers' advertised resources and computes value shares under the requested
 // policy — the paper's method exposed as a network service.
 func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
+	sp := s.obsreg.StartSpan("sfa.shares").Attr("policy", p.Policy)
+	defer sp.End()
 	type contribution struct {
 		name     string
 		sites    int
@@ -654,8 +730,9 @@ func (s *Server) PeerWith(addr string) error {
 		_ = old.client.Close()
 	}
 	s.peers[resp.Record.Name] = &peerHandle{record: resp.Record, client: client}
+	s.metrics.peers.Set(float64(len(s.peers)))
 	s.mu.Unlock()
-	s.logf("sfa[%s]: peered with %s (%s)", s.auth.Name, resp.Record.Name, resp.Record.Addr)
+	s.log.Infof("sfa[%s]: peered with %s (%s)", s.auth.Name, resp.Record.Name, resp.Record.Addr)
 	return nil
 }
 

@@ -40,7 +40,7 @@ func buildAuthority(t *testing.T, name string, sites, nodes, capacity int) *plan
 
 func startServer(t *testing.T, auth *planetlab.Authority, opts ...Option) *Server {
 	t.Helper()
-	opts = append(opts, WithLogger(quietLog))
+	opts = append([]Option{WithLogger(quietLog)}, opts...) // default quiet; caller opts win
 	srv := NewServer(auth, testSecret, opts...)
 	if err := srv.Start("127.0.0.1:0"); err != nil {
 		t.Fatal(err)

@@ -3,7 +3,22 @@
 // PlanetLab substrate are built on it.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"fedshare/internal/obs"
+)
+
+// Engine metrics are updated once per Run call (not per event), so the
+// event loop itself stays untouched. With several engines in one process
+// the counter aggregates across them and the gauge reports the most
+// recently finished engine's queue.
+var (
+	eventsTotal = obs.Default.Counter("fedshare_sim_events_total",
+		"Simulation events executed across all engines.")
+	heapDepth = obs.Default.Gauge("fedshare_sim_heap_depth",
+		"Pending events in the most recently run simulation engine.")
+)
 
 // Engine drives a simulation: events are scheduled at absolute or relative
 // virtual times and executed in time order (FIFO among equal timestamps).
@@ -79,6 +94,8 @@ func (e *Engine) Run(until float64) int {
 	if e.now < until {
 		e.now = until
 	}
+	eventsTotal.Add(int64(count))
+	heapDepth.Set(float64(len(e.events)))
 	return count
 }
 

@@ -10,6 +10,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"fedshare/internal/obs"
+)
+
+// Pool instrumentation. Per point the cost is one clock read, one
+// histogram observation, and one gauge CAS — timestamps are chained
+// within a worker (each point's end is the next point's start), so a
+// sweep of n points pays n+1 clock reads total, not 2n.
+var (
+	pointsTotal = obs.Default.Counter("fedshare_sweep_points_total",
+		"Sweep points evaluated since process start.")
+	queueDepth = obs.Default.Gauge("fedshare_sweep_queue_depth",
+		"Sweep points currently queued or running across all active sweeps.")
+	pointSeconds = obs.Default.Histogram("fedshare_sweep_point_seconds",
+		"Per-point evaluation latency across all sweeps.", nil)
 )
 
 // defaultWorkers is the pool size used when Run is called with workers <= 0;
@@ -53,9 +69,24 @@ func Run[T any](n, workers int, fn func(i int) T) []T {
 	if w > n {
 		w = n
 	}
+	queueDepth.Add(float64(n))
+	var done atomic.Int64
+	defer func() {
+		// Points skipped by a panicking fn never ran their Dec; settle the
+		// gauge so it cannot drift, and count only completed points.
+		c := done.Load()
+		queueDepth.Add(float64(c) - float64(n))
+		pointsTotal.Add(c)
+	}()
 	if w <= 1 {
+		prev := time.Now()
 		for i := 0; i < n; i++ {
 			out[i] = fn(i)
+			now := time.Now()
+			pointSeconds.Observe(now.Sub(prev).Seconds())
+			prev = now
+			queueDepth.Dec()
+			done.Add(1)
 		}
 		return out
 	}
@@ -78,12 +109,18 @@ func Run[T any](n, workers int, fn func(i int) T) []T {
 					panicMu.Unlock()
 				}
 			}()
+			prev := time.Now()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				out[i] = fn(i)
+				now := time.Now()
+				pointSeconds.Observe(now.Sub(prev).Seconds())
+				prev = now
+				queueDepth.Dec()
+				done.Add(1)
 			}
 		}()
 	}
