@@ -21,6 +21,17 @@ import (
 	"fedshare/internal/stats"
 )
 
+// benchFigure runs a registered figure scenario, failing the benchmark on
+// error.
+func benchFigure(b *testing.B, id string) *figures.Figure {
+	b.Helper()
+	f, err := figures.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
 func anchor(b *testing.B, f *figures.Figure, series string, x, want, tol float64) {
 	b.Helper()
 	for _, s := range f.Series {
@@ -42,7 +53,7 @@ func anchor(b *testing.B, f *figures.Figure, series string, x, want, tol float64
 // BenchmarkFig2 regenerates the utility-function figure (Fig 2).
 func BenchmarkFig2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.Fig2()
+		f := benchFigure(b, "fig2")
 		if i == 0 {
 			anchor(b, f, "d=1.0", 100, 100, 1e-9)
 			anchor(b, f, "d=0.8", 40, 0, 0) // below threshold
@@ -54,7 +65,7 @@ func BenchmarkFig2(b *testing.B) {
 // Shapley shares against the flat proportional rule.
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.Fig4(false)
+		f := benchFigure(b, "fig4")
 		if i == 0 {
 			anchor(b, f, "pi2", 500, 4.0/13, 1e-9)  // paper: π̂2 = 4/13
 			anchor(b, f, "phi1", 1250, 1.0/3, 1e-9) // grand-only equal split
@@ -67,7 +78,7 @@ func BenchmarkFig4(b *testing.B) {
 // convention that matches the paper's worked numbers exactly.
 func BenchmarkFig4Strict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.Fig4(true)
+		f := benchFigure(b, "fig4-strict")
 		if i == 0 {
 			anchor(b, f, "phi2", 500, 2.0/13, 1e-9) // paper: φ̂2 = 2/13
 		}
@@ -77,7 +88,7 @@ func BenchmarkFig4Strict(b *testing.B) {
 // BenchmarkFig5 regenerates the utility-shape sweep (Fig 5).
 func BenchmarkFig5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.Fig5()
+		f := benchFigure(b, "fig5")
 		if i == 0 {
 			// Convexity pulls Shapley toward proportional: by d = 2.5 the
 			// facility-3 gap must be small.
@@ -101,7 +112,7 @@ func BenchmarkFig5(b *testing.B) {
 // equal L_i·R_i, very different Shapley shares.
 func BenchmarkFig6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.Fig6()
+		f := benchFigure(b, "fig6")
 		if i == 0 {
 			anchor(b, f, "phi1", 0, 1.0/3, 1e-6)
 			anchor(b, f, "pi1", 900, 1.0/3, 1e-6)
@@ -113,7 +124,7 @@ func BenchmarkFig6(b *testing.B) {
 // BenchmarkFig7 regenerates the demand-mixture sweep (Fig 7).
 func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.Fig7()
+		f := benchFigure(b, "fig7")
 		if i == 0 {
 			var lo, hi float64
 			for _, s := range f.Series {
@@ -133,7 +144,7 @@ func BenchmarkFig7(b *testing.B) {
 // consumption-proportional rule ρ̂.
 func BenchmarkFig8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.Fig8()
+		f := benchFigure(b, "fig8")
 		if i == 0 {
 			anchor(b, f, "rho3", 5, 8.0/13, 0.05) // low demand: diversity profile
 			var rLo, rHi float64
@@ -153,7 +164,7 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig9 regenerates the provision-incentive curves (Fig 9).
 func BenchmarkFig9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.Fig9()
+		f := benchFigure(b, "fig9")
 		if i == 0 {
 			// Proportional profit at l=0 grows smoothly to L1·R1-level
 			// values; Shapley at l=800 must exhibit a threshold jump.
@@ -209,7 +220,7 @@ func BenchmarkMultiplexing(b *testing.B) {
 
 // BenchmarkFigureTables measures the rendering path used by fedsim.
 func BenchmarkFigureTables(b *testing.B) {
-	f := figures.Fig4(false)
+	f := benchFigure(b, "fig4")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = f.Table()
@@ -305,7 +316,7 @@ func BenchmarkHierarchicalShapley(b *testing.B) {
 // with the combinatorial-auction baseline (Sec. 5).
 func BenchmarkFigMarket(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		f := figures.FigMarket()
+		f := benchFigure(b, "fig-market")
 		if i == 0 && len(f.Series) != 6 {
 			b.Fatalf("fig-market has %d series", len(f.Series))
 		}

@@ -8,6 +8,7 @@
 //	fedctl -addr 127.0.0.1:7001 -secret fed-secret slice delete myexp
 //	fedctl -addr 127.0.0.1:7001 shares -policy shapley
 //	fedctl metrics 127.0.0.1:9090
+//	fedctl scenarios
 package main
 
 import (
@@ -19,8 +20,13 @@ import (
 	"sort"
 	"time"
 
+	// Imported for its init-time registration of the paper-figure scenarios,
+	// so "fedctl scenarios" lists the same registry fedsim runs.
+	_ "fedshare/internal/figures"
+
 	"fedshare/internal/obs"
 	"fedshare/internal/rspec"
+	"fedshare/internal/scenario"
 	"fedshare/internal/sfa"
 )
 
@@ -43,6 +49,23 @@ func main() {
 		}
 		if err := printMetrics(args[1]); err != nil {
 			fail(err)
+		}
+		return
+	}
+
+	// The scenarios command reads the in-process scenario registry — the
+	// same one fedsim runs — so it too is handled before dialing.
+	if args[0] == "scenarios" {
+		fmt.Println("registered scenarios (run with fedsim -fig <id>):")
+		for _, e := range scenario.Entries() {
+			kind := e.Source()
+			switch {
+			case e.Variant:
+				kind += ",variant"
+			case e.Extension:
+				kind += ",extension"
+			}
+			fmt.Printf("  %-12s %-14s %s\n", e.ID, kind, e.Title)
 		}
 		return
 	}
@@ -220,7 +243,8 @@ commands:
   slice delete <name>
   shares [-policy shapley|proportional|consumption|equal|nucleolus|banzhaf]
   usage
-  metrics <metrics-addr>    fetch and render a daemon's /metrics.json snapshot`)
+  metrics <metrics-addr>    fetch and render a daemon's /metrics.json snapshot
+  scenarios                 list the registered scenario specs (run with fedsim)`)
 	os.Exit(2)
 }
 

@@ -1,24 +1,31 @@
 // Command fedsim regenerates the paper's figures as data tables and ASCII
-// charts, and renders the schematic diagrams (Figs 1 and 3).
+// charts, runs user-supplied scenario specs, and renders the schematic
+// diagrams (Figs 1 and 3). The paper figures themselves are declarative
+// scenario specs registered by the figures package; -list shows the
+// registry.
 //
 // Usage:
 //
-//	fedsim -fig fig4          # one figure
-//	fedsim -all               # every figure
-//	fedsim -fig fig4 -chart   # with an ASCII chart
-//	fedsim -all -v            # per-figure wall-clock + allocation-memo stats
-//	fedsim -all -json         # machine-readable run summary (timings + metrics)
-//	fedsim -diagram           # the federation-model and game diagrams
-//	fedsim -weights           # offline Shapley weight table (Sec. 3.2.3)
+//	fedsim -fig fig4                     # one figure
+//	fedsim -all                          # every figure
+//	fedsim -list                         # registered scenarios
+//	fedsim -scenario examples/foo.json   # arbitrary scenario from a spec file
+//	fedsim -fig fig4 -chart              # with an ASCII chart
+//	fedsim -all -v                       # per-figure wall-clock + memo stats
+//	fedsim -all -json                    # machine-readable run summary
+//	fedsim -diagram                      # the federation-model and game diagrams
+//	fedsim -weights                      # offline Shapley weight table (Sec. 3.2.3)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"fedshare/internal/allocation"
@@ -27,17 +34,28 @@ import (
 	"fedshare/internal/figures"
 	"fedshare/internal/obs"
 	"fedshare/internal/policy"
+	"fedshare/internal/scenario"
 	"fedshare/internal/sweep"
 )
 
-// allFigureIDs lists every figure in paper order plus the extensions,
-// regenerated one at a time so -v can attribute wall-clock per figure.
-var allFigureIDs = []string{
-	"fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig-market",
+// runAllIDs lists the registry in registration (paper) order for -all,
+// skipping variant entries — alternate conventions of another figure that
+// remain runnable by explicit -fig.
+func runAllIDs() []string {
+	var ids []string
+	for _, e := range scenario.Entries() {
+		if e.Variant {
+			continue
+		}
+		ids = append(ids, e.ID)
+	}
+	return ids
 }
 
 func main() {
-	figID := flag.String("fig", "", "figure to regenerate (fig2, fig4, fig4-strict, fig5, fig6, fig7, fig8, fig9, fig-market)")
+	figID := flag.String("fig", "", "scenario to regenerate ("+strings.Join(scenario.IDs(), ", ")+")")
+	scenarioPath := flag.String("scenario", "", "run a declarative scenario spec from a JSON file")
+	list := flag.Bool("list", false, "list the registered scenarios and exit")
 	all := flag.Bool("all", false, "regenerate every figure (paper + extensions)")
 	chart := flag.Bool("chart", false, "also render an ASCII chart")
 	diagram := flag.Bool("diagram", false, "print the schematic diagrams (paper Figs 1 and 3)")
@@ -50,6 +68,16 @@ func main() {
 	jsonOut := flag.Bool("json", false, "suppress tables and emit a JSON run summary (per-figure timings + obs metrics snapshot)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintln(out, "usage: fedsim [flags]")
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "registered scenarios (-fig <id>):")
+		writeScenarioList(out)
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "flags:")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	// The coalition engine (SnapshotParallel / BatchedValuesParallel) sizes
@@ -99,27 +127,51 @@ func main() {
 		verbose: *verbose, jsonOut: *jsonOut,
 	}
 	switch {
+	case *list:
+		fmt.Println("registered scenarios (fedsim -fig <id>):")
+		writeScenarioList(os.Stdout)
 	case *diagram:
 		printDiagrams()
 	case *weights:
 		printWeightTable()
+	case *scenarioPath != "":
+		if err := run.scenarioFile(*scenarioPath); err != nil {
+			fmt.Fprintln(os.Stderr, "fedsim:", err)
+			os.Exit(1)
+		}
+		run.finish()
 	case *all:
-		for _, id := range allFigureIDs {
+		for _, id := range runAllIDs() {
 			if err := run.figure(id); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fmt.Fprintln(os.Stderr, "fedsim:", err)
 				os.Exit(2)
 			}
 		}
 		run.finish()
 	case *figID != "":
 		if err := run.figure(*figID); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintln(os.Stderr, "fedsim:", err)
 			os.Exit(2)
 		}
 		run.finish()
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// writeScenarioList renders the registry — one line per entry: id, whether
+// it is spec- or code-backed, variant/extension marks, and title.
+func writeScenarioList(w io.Writer) {
+	for _, e := range scenario.Entries() {
+		kind := e.Source()
+		switch {
+		case e.Variant:
+			kind += ",variant"
+		case e.Extension:
+			kind += ",extension"
+		}
+		fmt.Fprintf(w, "  %-12s %-14s %s\n", e.ID, kind, e.Title)
 	}
 }
 
@@ -150,14 +202,38 @@ type runSummary struct {
 	Metrics obs.Snapshot    `json:"metrics"`
 }
 
-// figure regenerates one figure, timing the generation (not the
-// rendering) and attributing allocation-memo traffic to it.
+// figure regenerates one registered figure.
 func (rc *runConfig) figure(id string) error {
-	before := allocation.DefaultMemo.Stats()
-	sp := obs.StartSpan("fedsim.figure").Attr("fig", id)
-	start := time.Now()
-	f, err := figures.ByID(id)
+	return rc.render("fedsim.figure", "fig", id, func() (*figures.Figure, error) {
+		return figures.ByID(id)
+	})
+}
+
+// scenarioFile loads a declarative spec from a JSON file, validates it,
+// and runs it through the same executor and output paths as the figures.
+func (rc *runConfig) scenarioFile(path string) error {
+	data, err := os.ReadFile(path)
 	if err != nil {
+		return err
+	}
+	spec, err := scenario.ParseSpec(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return rc.render("fedsim.scenario", "scenario", spec.ID, func() (*figures.Figure, error) {
+		return scenario.Run(spec)
+	})
+}
+
+// render generates one result, timing the generation (not the rendering)
+// and attributing allocation-memo traffic to it.
+func (rc *runConfig) render(span, attr, id string, gen func() (*figures.Figure, error)) error {
+	before := allocation.DefaultMemo.Stats()
+	sp := obs.StartSpan(span).Attr(attr, id)
+	start := time.Now()
+	f, err := gen()
+	if err != nil {
+		sp.End()
 		return err
 	}
 	elapsed := time.Since(start)

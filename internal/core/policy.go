@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"fedshare/internal/coalition"
 	"fedshare/internal/combin"
@@ -174,6 +175,36 @@ func (BanzhafPolicy) Shares(m *Model) ([]float64, error) {
 		beta[i] /= total
 	}
 	return beta, nil
+}
+
+// PolicyNames lists the names PolicyByName resolves, in presentation
+// order.
+func PolicyNames() []string {
+	return []string{"shapley", "proportional", "consumption", "equal", "nucleolus", "banzhaf", "shapley-users"}
+}
+
+// PolicyByName resolves a deterministic sharing policy by its registered
+// name; the empty string resolves to the Shapley rule (the paper's
+// default). Parameterized policies (Monte Carlo Shapley) are constructed
+// directly instead.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "", "shapley":
+		return ShapleyPolicy{}, nil
+	case "proportional":
+		return ProportionalPolicy{}, nil
+	case "consumption":
+		return ConsumptionPolicy{}, nil
+	case "equal":
+		return EqualPolicy{}, nil
+	case "nucleolus":
+		return NucleolusPolicy{}, nil
+	case "banzhaf":
+		return BanzhafPolicy{}, nil
+	case "shapley-users":
+		return UserWeightedShapleyPolicy{}, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (have %s)", name, strings.Join(PolicyNames(), ", "))
 }
 
 // Profits converts a policy's normalized shares into absolute payoffs

@@ -14,7 +14,11 @@ import (
 func TestFiguresByteIdenticalAcrossWorkers(t *testing.T) {
 	render := func() map[string]string {
 		out := map[string]string{}
-		for _, f := range All() {
+		figs, err := All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range figs {
 			out[f.ID] = f.Table()
 		}
 		return out

@@ -1,369 +1,57 @@
 // Package figures regenerates every figure of the paper's evaluation
-// (Sec. 4): for each figure it produces the exact series the paper plots, as
-// (x, y) data ready for the fedsim CLI, the benchmark harness, and
-// EXPERIMENTS.md. Parameter choices the paper leaves implicit (demand volume
-// K for Figs 6, 7 and 9) are fixed here and documented in EXPERIMENTS.md.
+// (Sec. 4). Each figure is a declarative scenario.Spec (specs.go)
+// registered with the scenario registry and executed by the generic
+// scenario engine; this package is the thin renderer layer on top.
+// Parameter choices the paper leaves implicit (demand volume K for Figs 6,
+// 7 and 9) are fixed in the specs and documented in EXPERIMENTS.md.
 package figures
 
 import (
-	"fmt"
-	"math"
-
-	"fedshare/internal/core"
-	"fedshare/internal/economics"
-	"fedshare/internal/stats"
-	"fedshare/internal/sweep"
+	"fedshare/internal/scenario"
 )
 
-// Figure is one regenerated paper figure.
-type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	Series []stats.Series
-	Notes  string
-}
+// Figure is one regenerated paper figure — an executed scenario.
+type Figure = scenario.Result
 
-// Table renders the figure's series as an aligned text table.
-func (f *Figure) Table() string {
-	return stats.Table(f.XLabel, f.Series)
-}
-
-// singleExperimentModel builds the Sec. 4.1 model: facilities with unit (or
-// given) capacities and one experiment of threshold l and shape d.
-func singleExperimentModel(locs []int, caps []float64, l, d float64, strict bool) *core.Model {
-	wl, err := economics.NewWorkload(economics.DemandClass{
-		Type: economics.ExperimentType{
-			Name: "single", MinLocations: l, MaxLocations: math.Inf(1),
-			Resources: 1, HoldingTime: 1, Shape: d, Strict: strict,
-		},
-		Count: 1,
-	})
-	if err != nil {
-		panic(err)
-	}
-	m, err := core.NewModel(threeFacilities(locs, caps), wl)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
-// batchModel builds a model with K identical experiments.
-func batchModel(locs []int, caps []float64, l float64, k int) *core.Model {
-	wl, err := economics.NewWorkload(economics.DemandClass{
-		Type: economics.ExperimentType{
-			Name: "batch", MinLocations: l, MaxLocations: math.Inf(1),
-			Resources: 1, HoldingTime: 1, Shape: 1,
-		},
-		Count: k,
-	})
-	if err != nil {
-		panic(err)
-	}
-	m, err := core.NewModel(threeFacilities(locs, caps), wl)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
-var facilityNames = [...]string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8"}
-
-func threeFacilities(locs []int, caps []float64) []core.Facility {
-	fs := make([]core.Facility, len(locs))
-	for i := range locs {
-		name := ""
-		if i < len(facilityNames) {
-			name = facilityNames[i]
-		} else {
-			name = fmt.Sprintf("F%d", i+1)
+// All runs every paper figure in paper order (excluding convention
+// variants and extensions).
+func All() ([]*Figure, error) {
+	var out []*Figure
+	for _, e := range scenario.Entries() {
+		if e.Variant || e.Extension {
+			continue
 		}
-		fs[i] = core.Facility{
-			Name:      name,
-			Locations: locs[i],
-			Resources: caps[i],
-		}
-	}
-	return fs
-}
-
-// mustShares evaluates a policy, panicking on failure (figure configurations
-// are fixed and must always compute).
-func mustShares(m *core.Model, p core.Policy) []float64 {
-	s, err := p.Shares(m)
-	if err != nil {
-		panic(fmt.Sprintf("figures: %s policy failed: %v", p.Name(), err))
-	}
-	return s
-}
-
-// shareSweep runs a sweep building a model per x value and records φ̂ and π̂
-// (and optionally ρ̂) per facility. The sweep points are independent — each
-// owns a private Model and game cache — so they evaluate concurrently on
-// the sweep worker pool (sweep.Run preserves deterministic point order, so
-// the output series are byte-identical to a sequential run). Within a
-// point, the batched coalition-lattice kernel solves the 2^n coalition
-// allocations, each served from the aggregate-keyed allocation memo when
-// its (pool, demand) signature already appeared — at another point, in a
-// symmetric coalition, or in an earlier figure run.
-func shareSweep(xs []float64, build func(x float64) *core.Model, withRho bool) []stats.Series {
-	const n = 3
-	mkSeries := func(symbol string) []stats.Series {
-		out := make([]stats.Series, n)
-		for i := range out {
-			out[i] = stats.Series{Name: fmt.Sprintf("%s%d", symbol, i+1)}
-		}
-		return out
-	}
-	phi := mkSeries("phi")
-	pi := mkSeries("pi")
-	var rho []stats.Series
-	if withRho {
-		rho = mkSeries("rho")
-	}
-	type point struct {
-		phi, pi, rho []float64
-	}
-	pts := sweep.Run(len(xs), 0, func(k int) point {
-		m := build(xs[k])
-		pt := point{
-			phi: mustShares(m, core.ShapleyPolicy{}),
-			pi:  mustShares(m, core.ProportionalPolicy{}),
-		}
-		if withRho {
-			pt.rho = mustShares(m, core.ConsumptionPolicy{})
-		}
-		return pt
-	})
-	for k, x := range xs {
-		for i := 0; i < n; i++ {
-			phi[i].Add(x, pts[k].phi[i])
-			pi[i].Add(x, pts[k].pi[i])
-			if withRho {
-				rho[i].Add(x, pts[k].rho[i])
-			}
-		}
-	}
-	out := append(phi, pi...)
-	if withRho {
-		out = append(out, rho...)
-	}
-	return out
-}
-
-// Fig2 reproduces Figure 2: the threshold-power utility for
-// d ∈ {0.8, 1, 1.2} with l = 50 over x ∈ [0, 300].
-func Fig2() *Figure {
-	fig := &Figure{
-		ID:     "fig2",
-		Title:  "Utility functions for l = 50",
-		XLabel: "x",
-		Notes:  "u(x) = x^d for x >= 50, 0 below the diversity threshold.",
-	}
-	for _, d := range []float64{0.8, 1.0, 1.2} {
-		u := economics.ThresholdPower{L: 50, D: d}
-		s := stats.Series{Name: fmt.Sprintf("d=%.1f", d)}
-		for x := 0.0; x <= 300; x += 10 {
-			s.Add(x, u.Eval(x))
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig
-}
-
-// Fig4 reproduces Figure 4: φ̂_i and π̂_i versus the diversity threshold l
-// for L = (100, 400, 800), unit capacities, a single linear-utility
-// experiment. strict selects the boundary convention (see EXPERIMENTS.md).
-func Fig4(strict bool) *Figure {
-	var xs []float64
-	for l := 0.0; l <= 1400; l += 50 {
-		xs = append(xs, l)
-	}
-	fig := &Figure{
-		ID:     "fig4",
-		Title:  "Profit shares with respect to l",
-		XLabel: "l",
-		Notes:  "Staircase drops at l = 100, 400, 500, 800, 900, 1200; equal shares in (1200, 1300]; zero beyond 1300.",
-		Series: shareSweep(xs, func(l float64) *core.Model {
-			return singleExperimentModel([]int{100, 400, 800}, []float64{1, 1, 1}, l, 1, strict)
-		}, false),
-	}
-	return fig
-}
-
-// Fig5 reproduces Figure 5: shares versus the utility shape d with the
-// threshold fixed at l = 600.
-func Fig5() *Figure {
-	var xs []float64
-	for d := 0.1; d <= 2.5+1e-9; d += 0.1 {
-		xs = append(xs, math.Round(d*10)/10)
-	}
-	fig := &Figure{
-		ID:     "fig5",
-		Title:  "Profit shares with respect to d (l = 600)",
-		XLabel: "d",
-		Notes:  "As d grows the game turns convex and φ̂ approaches π̂.",
-		Series: shareSweep(xs, func(d float64) *core.Model {
-			return singleExperimentModel([]int{100, 400, 800}, []float64{1, 1, 1}, 600, d, false)
-		}, false),
-	}
-	return fig
-}
-
-// Fig6DemandK is the demand volume used for Figure 6 (the paper states only
-// "enough in number to fill the system's capacity"; saturation occurs at
-// m = 80 experiments).
-const Fig6DemandK = 100
-
-// Fig6 reproduces Figure 6: shares versus l with capacity-aware facilities
-// R = (80, 20, 10) so that all L_i·R_i are equal, demand filling capacity.
-func Fig6() *Figure {
-	var xs []float64
-	for l := 0.0; l <= 1400; l += 50 {
-		xs = append(xs, l)
-	}
-	fig := &Figure{
-		ID:     "fig6",
-		Title:  "Profit shares with respect to l, equal L_i*R_i",
-		XLabel: "l",
-		Notes:  fmt.Sprintf("K = %d identical experiments (saturation at m = 80). Equal totals, very different Shapley shares once l > 0.", Fig6DemandK),
-		Series: shareSweep(xs, func(l float64) *core.Model {
-			return batchModel([]int{100, 400, 800}, []float64{80, 20, 10}, l, Fig6DemandK)
-		}, false),
-	}
-	return fig
-}
-
-// Fig7DemandK is the total demand for Figure 7, chosen so that total demand
-// roughly fills the grand coalition's 52 000 slot capacity (40 experiments ×
-// up to 1300 locations).
-const Fig7DemandK = 40
-
-// Fig7 reproduces Figure 7: shares versus the mixture ratio σ between
-// type-1 (l = 0) and type-2 (l = 700) experiments, R = (80, 50, 30).
-func Fig7() *Figure {
-	typeA := economics.ExperimentType{
-		Name: "flexible", MaxLocations: math.Inf(1),
-		Resources: 1, HoldingTime: 1, Shape: 1,
-	}
-	typeB := economics.ExperimentType{
-		Name: "diversity-hungry", MinLocations: 700, MaxLocations: math.Inf(1),
-		Resources: 1, HoldingTime: 1, Shape: 1,
-	}
-	var xs []float64
-	for s := 0.0; s <= 1+1e-9; s += 0.05 {
-		xs = append(xs, math.Round(s*100)/100)
-	}
-	fig := &Figure{
-		ID:     "fig7",
-		Title:  "Profit shares with respect to the experiment mixture σ",
-		XLabel: "sigma",
-		Notes:  fmt.Sprintf("K = %d experiments, fraction σ of type l=700. More diversity-hungry demand pushes φ̂ away from π̂.", Fig7DemandK),
-		Series: shareSweep(xs, func(sigma float64) *core.Model {
-			wl, err := economics.Mixture(typeA, typeB, Fig7DemandK, sigma)
-			if err != nil {
-				panic(err)
-			}
-			m, err := core.NewModel(threeFacilities([]int{100, 400, 800}, []float64{80, 50, 30}), wl)
-			if err != nil {
-				panic(err)
-			}
-			return m
-		}, false),
-	}
-	return fig
-}
-
-// Fig8 reproduces Figure 8: shares versus demand volume K for l = 250 and
-// R = (80, 60, 20), including the consumption-proportional ρ̂.
-func Fig8() *Figure {
-	var xs []float64
-	for k := 0.0; k <= 100; k += 5 {
-		xs = append(xs, k)
-	}
-	fig := &Figure{
-		ID:     "fig8",
-		Title:  "Profit shares with respect to demand volume K (l = 250)",
-		XLabel: "K",
-		Notes:  "π̂ is demand-independent; ρ̂ starts at the diversity profile L_i/ΣL and drifts toward capacity shares as locations saturate.",
-		Series: shareSweep(xs, func(k float64) *core.Model {
-			return batchModel([]int{100, 400, 800}, []float64{80, 60, 20}, 250, int(k))
-		}, true),
-	}
-	return fig
-}
-
-// Fig9DemandK saturates the system for Figure 9 (demand exceeds capacity at
-// every swept L1).
-const Fig9DemandK = 100
-
-// Fig9 reproduces Figure 9: facility 1's absolute profit versus its own
-// location count L1 for thresholds l ∈ {0, 400, 800}, under Shapley and
-// proportional sharing.
-func Fig9() *Figure {
-	var locGrid []int
-	var xs []float64
-	for L := 0; L <= 1000; L += 50 {
-		locGrid = append(locGrid, L)
-		xs = append(xs, float64(L))
-	}
-	_ = xs
-	fig := &Figure{
-		ID:     "fig9",
-		Title:  "Profit of facility 1 with respect to L1",
-		XLabel: "L1",
-		Notes:  fmt.Sprintf("K = %d experiments (demand exceeds capacity). Shapley profit jumps at coalition-feasibility thresholds; proportional grows smoothly.", Fig9DemandK),
-	}
-	for _, l := range []float64{0, 400, 800} {
-		m := batchModel([]int{100, 400, 800}, []float64{80, 60, 20}, l, Fig9DemandK)
-		shap, err := core.IncentiveCurve(m, 0, locGrid, core.ShapleyPolicy{})
+		f, err := e.Run()
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		shap.Name = fmt.Sprintf("phi1,l=%.0f", l)
-		prop, err := core.IncentiveCurve(m, 0, locGrid, core.ProportionalPolicy{})
-		if err != nil {
-			panic(err)
-		}
-		prop.Name = fmt.Sprintf("pi1,l=%.0f", l)
-		fig.Series = append(fig.Series, shap, prop)
+		out = append(out, f)
 	}
-	return fig
+	return out, nil
 }
 
-// All returns every reproduced figure in paper order. Fig 4 uses the
-// non-strict threshold convention of equation (1).
-func All() []*Figure {
-	return []*Figure{Fig2(), Fig4(false), Fig5(), Fig6(), Fig7(), Fig8(), Fig9()}
+// Extensions runs the figures that go beyond the paper's evaluation.
+func Extensions() ([]*Figure, error) {
+	var out []*Figure
+	for _, e := range scenario.Entries() {
+		if !e.Extension {
+			continue
+		}
+		f, err := e.Run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
-// Extensions returns the figures that go beyond the paper's evaluation.
-func Extensions() []*Figure {
-	return []*Figure{FigMarket()}
-}
-
-// ByID returns the figure with the given id ("fig2", "fig4", ...).
+// ByID runs the figure with the given id ("fig2", "fig4", ...). Unknown
+// ids fail with the registry's id listing.
 func ByID(id string) (*Figure, error) {
-	switch id {
-	case "fig2":
-		return Fig2(), nil
-	case "fig4":
-		return Fig4(false), nil
-	case "fig4-strict":
-		return Fig4(true), nil
-	case "fig5":
-		return Fig5(), nil
-	case "fig6":
-		return Fig6(), nil
-	case "fig7":
-		return Fig7(), nil
-	case "fig8":
-		return Fig8(), nil
-	case "fig9":
-		return Fig9(), nil
-	case "fig-market":
-		return FigMarket(), nil
+	e, err := scenario.ByID(id)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("figures: unknown figure %q (have fig2, fig4, fig4-strict, fig5, fig6, fig7, fig8, fig9, fig-market)", id)
+	return e.Run()
 }

@@ -6,6 +6,16 @@ import (
 	"testing"
 )
 
+// mustFig runs a registered figure scenario, failing the test on error.
+func mustFig(t *testing.T, id string) *Figure {
+	t.Helper()
+	f, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 func yAt(t *testing.T, f *Figure, name string, x float64) float64 {
 	t.Helper()
 	for _, s := range f.Series {
@@ -22,7 +32,7 @@ func yAt(t *testing.T, f *Figure, name string, x float64) float64 {
 }
 
 func TestFig2Anchors(t *testing.T) {
-	f := Fig2()
+	f := mustFig(t, "fig2")
 	if len(f.Series) != 3 {
 		t.Fatalf("fig2 has %d series", len(f.Series))
 	}
@@ -44,7 +54,7 @@ func TestFig2Anchors(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	f := Fig4(false)
+	f := mustFig(t, "fig4")
 	if len(f.Series) != 6 {
 		t.Fatalf("fig4 has %d series, want 6", len(f.Series))
 	}
@@ -76,7 +86,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig4StrictMatchesPaperNumbers(t *testing.T) {
-	f := Fig4(true)
+	f := mustFig(t, "fig4-strict")
 	// Paper Sec 4.1: φ̂2 = 2/13 at l = 500 under the strict convention.
 	if y := yAt(t, f, "phi2", 500); math.Abs(y-2.0/13) > 1e-9 {
 		t.Errorf("strict phi2(500) = %g, want 2/13", y)
@@ -84,7 +94,7 @@ func TestFig4StrictMatchesPaperNumbers(t *testing.T) {
 }
 
 func TestFig5Convergence(t *testing.T) {
-	f := Fig5()
+	f := mustFig(t, "fig5")
 	// As d grows, Shapley approaches proportional (and the small-coalition
 	// advantage of facility 3 fades toward its resource share).
 	gapAt := func(d float64) float64 {
@@ -107,7 +117,7 @@ func TestFig5Convergence(t *testing.T) {
 }
 
 func TestFig6EqualTotalsDifferentShares(t *testing.T) {
-	f := Fig6()
+	f := mustFig(t, "fig6")
 	// At l = 0 all L_i·R_i equal -> all shares 1/3.
 	for _, name := range []string{"phi1", "phi2", "phi3", "pi1", "pi2", "pi3"} {
 		if y := yAt(t, f, name, 0); math.Abs(y-1.0/3) > 1e-6 {
@@ -131,7 +141,7 @@ func TestFig6EqualTotalsDifferentShares(t *testing.T) {
 }
 
 func TestFig7MixtureShiftsShares(t *testing.T) {
-	f := Fig7()
+	f := mustFig(t, "fig7")
 	// With only flexible experiments (σ=0), Shapley tracks capacity
 	// proportions; as σ grows, diversity (locations) matters more, so
 	// facility 3 gains and facility 1 loses.
@@ -157,7 +167,7 @@ func TestFig7MixtureShiftsShares(t *testing.T) {
 }
 
 func TestFig8DemandDependence(t *testing.T) {
-	f := Fig8()
+	f := mustFig(t, "fig8")
 	if len(f.Series) != 9 {
 		t.Fatalf("fig8 has %d series, want 9 (phi, pi, rho)", len(f.Series))
 	}
@@ -181,7 +191,7 @@ func TestFig8DemandDependence(t *testing.T) {
 }
 
 func TestFig9IncentiveCurves(t *testing.T) {
-	f := Fig9()
+	f := mustFig(t, "fig9")
 	if len(f.Series) != 6 {
 		t.Fatalf("fig9 has %d series, want 6", len(f.Series))
 	}
@@ -221,7 +231,10 @@ func TestFig9IncentiveCurves(t *testing.T) {
 }
 
 func TestAllAndByID(t *testing.T) {
-	all := All()
+	all, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(all) != 7 {
 		t.Fatalf("All returned %d figures", len(all))
 	}
@@ -252,7 +265,8 @@ func TestAllAndByID(t *testing.T) {
 func TestSharesAreValidDistributions(t *testing.T) {
 	// Every share series point lies in [0,1]; per figure and x, each rule's
 	// shares sum to 1 or 0.
-	for _, f := range []*Figure{Fig4(false), Fig6(), Fig7(), Fig8()} {
+	for _, id := range []string{"fig4", "fig6", "fig7", "fig8"} {
+		f := mustFig(t, id)
 		byPrefix := map[string][]int{}
 		for i, s := range f.Series {
 			prefix := strings.TrimRight(s.Name, "123")
@@ -281,7 +295,7 @@ func TestSharesAreValidDistributions(t *testing.T) {
 }
 
 func TestFigMarketDivergence(t *testing.T) {
-	f := FigMarket()
+	f := mustFig(t, "fig-market")
 	if len(f.Series) != 6 {
 		t.Fatalf("fig-market has %d series", len(f.Series))
 	}
@@ -309,7 +323,7 @@ func TestFigMarketDivergence(t *testing.T) {
 // against hand-computed Shapley values (three-player closed form on the
 // segment's coalition-value table).
 func TestFig4SegmentAnchors(t *testing.T) {
-	f := Fig4(false)
+	f := mustFig(t, "fig4")
 	segments := []struct {
 		l    float64 // representative grid point inside the segment
 		want [3]float64

@@ -2,9 +2,11 @@ package figures
 
 import (
 	"fmt"
+	"math"
 
 	"fedshare/internal/allocation"
 	"fedshare/internal/core"
+	"fedshare/internal/economics"
 	"fedshare/internal/market"
 	"fedshare/internal/stats"
 )
@@ -13,8 +15,9 @@ import (
 // discussion): facility shares versus the diversity threshold l under the
 // Shapley rule and under a Bellagio-style combinatorial auction. The
 // auction's implicit consumption-based division diverges from the marginal-
-// contribution division exactly where diversity binds.
-func FigMarket() *Figure {
+// contribution division exactly where diversity binds. The auction side has
+// no declarative spec — it is the registry's code-backed entry.
+func FigMarket() (*Figure, error) {
 	locs := []int{100, 400, 800}
 	pool := allocation.Pool{}
 	for i, l := range locs {
@@ -38,15 +41,21 @@ func FigMarket() *Figure {
 	phi := mkSeries("phi")
 	auc := mkSeries("auction")
 	for l := 0.0; l <= 1300; l += 100 {
-		m := singleExperimentModel(locs, []float64{1, 1, 1}, l, 1, false)
-		phiS := mustShares(m, core.ShapleyPolicy{})
+		m, err := marketModel(locs, l)
+		if err != nil {
+			return nil, err
+		}
+		phiS, err := core.ShapleyPolicy{}.Shares(m)
+		if err != nil {
+			return nil, fmt.Errorf("figures: fig-market shapley at l=%g: %w", l, err)
+		}
 		// The truthful bid under linear utility asks for the full location
 		// set (its optimal package), not just the threshold.
 		res, err := market.RunCombinatorial(pool, []market.Bid{
 			market.NewBid("exp", pool.TotalLocations(), 1, 1),
 		})
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("figures: fig-market auction at l=%g: %w", l, err)
 		}
 		aucS := market.Shares(res.RevenueByClass)
 		for i := 0; i < 3; i++ {
@@ -56,5 +65,29 @@ func FigMarket() *Figure {
 	}
 	fig.Series = append(fig.Series, phi...)
 	fig.Series = append(fig.Series, auc...)
-	return fig
+	return fig, nil
+}
+
+// marketModel builds the Sec. 4.1 single-experiment model (unit capacities,
+// linear utility with threshold l) used on the Shapley side of fig-market.
+func marketModel(locs []int, l float64) (*core.Model, error) {
+	wl, err := economics.NewWorkload(economics.DemandClass{
+		Type: economics.ExperimentType{
+			Name: "single", MinLocations: l, MaxLocations: math.Inf(1),
+			Resources: 1, HoldingTime: 1, Shape: 1,
+		},
+		Count: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig-market workload: %w", err)
+	}
+	fs := make([]core.Facility, len(locs))
+	for i, n := range locs {
+		fs[i] = core.Facility{Name: fmt.Sprintf("F%d", i+1), Locations: n, Resources: 1}
+	}
+	m, err := core.NewModel(fs, wl)
+	if err != nil {
+		return nil, fmt.Errorf("figures: fig-market model: %w", err)
+	}
+	return m, nil
 }

@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"fedshare/internal/core"
+	"fedshare/internal/obs"
+	"fedshare/internal/stats"
+	"fedshare/internal/sweep"
+)
+
+// Scenario-engine instrumentation: one span per Run (fedshare_span_seconds
+// with the scenario id attached) plus per-scenario run and model-point
+// counters.
+var (
+	runsTotal = obs.Default.CounterVec("fedshare_scenario_runs_total",
+		"Scenario executions since process start.", "scenario")
+	pointsTotal = obs.Default.CounterVec("fedshare_scenario_points_total",
+		"Model evaluation points executed by the scenario engine.", "scenario")
+)
+
+// Result is an executed scenario: the series the experiment plots, ready
+// for the table/chart renderers. Paper figures are Results too.
+type Result struct {
+	ID     string
+	Title  string
+	XLabel string
+	Notes  string
+	Series []stats.Series
+}
+
+// Table renders the result's series as an aligned text table.
+func (r *Result) Table() string {
+	return stats.Table(r.XLabel, r.Series)
+}
+
+// policySymbol maps policy names to the per-facility series symbols the
+// paper uses (φ̂, π̂, ρ̂, ...). Unknown policies fall back to their name.
+var policySymbol = map[string]string{
+	"shapley":       "phi",
+	"proportional":  "pi",
+	"consumption":   "rho",
+	"equal":         "eq",
+	"nucleolus":     "nu",
+	"banzhaf":       "beta",
+	"shapley-users": "uphi",
+}
+
+// symbolFor returns the series symbol for a policy name.
+func symbolFor(name string) string {
+	if sym, ok := policySymbol[name]; ok {
+		return sym
+	}
+	return name
+}
+
+// Run validates and executes a spec: it materializes the axis grid,
+// evaluates every sweep point on the sweep worker pool (deterministic
+// point ordering, so output is byte-identical to a sequential run), and
+// assembles the output series. Model-construction and policy errors
+// propagate with the failing point's coordinates attached.
+func Run(s *Spec) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	sp := obs.StartSpan("scenario.run").Attr("scenario", s.ID).Attr("kind", s.kind())
+	defer sp.End()
+	runsTotal.With(s.ID).Inc()
+	xs, err := s.Axis.grid()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ID: s.ID, Title: s.Title, XLabel: s.XLabel, Notes: s.Notes}
+	switch s.kind() {
+	case KindUtility:
+		err = s.runUtility(res, xs)
+	case KindShares:
+		err = s.runShares(res, xs)
+	case KindProfit:
+		err = s.runProfit(res, xs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runUtility evaluates each demand class's utility function over the grid.
+func (s *Spec) runUtility(res *Result, xs []float64) error {
+	for _, d := range s.Demand {
+		u := d.experimentType().Utility()
+		ser := stats.Series{Name: d.Name}
+		for _, x := range xs {
+			ser.Add(x, u.Eval(x))
+		}
+		res.Series = append(res.Series, ser)
+	}
+	pointsTotal.With(s.ID).Add(int64(len(xs) * len(s.Demand)))
+	return nil
+}
+
+// runShares evaluates every policy's share vector at each sweep point and
+// emits policy-major series: all of policy 1's facilities, then policy
+// 2's, ... with names <symbol><facility index>.
+func (s *Spec) runShares(res *Result, xs []float64) error {
+	policies, err := s.resolvedPolicies()
+	if err != nil {
+		return err
+	}
+	n := len(s.Facilities)
+	pts, err := sweep.RunErr(len(xs), 0, func(k int) ([][]float64, error) {
+		at, err := s.at(xs[k])
+		if err != nil {
+			return nil, err
+		}
+		m, err := at.Model()
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]float64, len(policies))
+		for pi, p := range policies {
+			shares, err := p.Shares(m)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: %s policy at %s=%g: %w",
+					s.ID, p.Name(), s.Axis.Variable, xs[k], err)
+			}
+			out[pi] = shares
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	pointsTotal.With(s.ID).Add(int64(len(xs)))
+	for pi, p := range policies {
+		sym := symbolFor(p.Name())
+		for i := 0; i < n; i++ {
+			ser := stats.Series{Name: sym + strconv.Itoa(i+1)}
+			for k, x := range xs {
+				ser.Add(x, pts[k][pi][i])
+			}
+			res.Series = append(res.Series, ser)
+		}
+	}
+	return nil
+}
+
+// runProfit records the tracked facility's absolute payoff per point, one
+// sweep per variant × policy, variant-major (matching the paper's Fig 9
+// series layout).
+func (s *Spec) runProfit(res *Result, xs []float64) error {
+	policies, err := s.resolvedPolicies()
+	if err != nil {
+		return err
+	}
+	idx, err := s.trackIndex()
+	if err != nil {
+		return err
+	}
+	variants := s.Variants
+	if len(variants) == 0 {
+		variants = []VariantSpec{{}}
+	}
+	for _, v := range variants {
+		base := s.clone()
+		for _, set := range v.Set {
+			if err := base.apply(set.Variable, set.Target, set.Value); err != nil {
+				return fmt.Errorf("scenario %s: variant %s: %w", s.ID, v.Name, err)
+			}
+		}
+		for _, p := range policies {
+			ys, err := sweep.RunErr(len(xs), 0, func(k int) (float64, error) {
+				at, err := base.at(xs[k])
+				if err != nil {
+					return 0, err
+				}
+				m, err := at.Model()
+				if err != nil {
+					return 0, err
+				}
+				profits, err := core.Profits(m, p)
+				if err != nil {
+					return 0, fmt.Errorf("scenario %s: %s policy at %s=%g: %w",
+						s.ID, p.Name(), s.Axis.Variable, xs[k], err)
+				}
+				return profits[idx], nil
+			})
+			if err != nil {
+				return err
+			}
+			pointsTotal.With(s.ID).Add(int64(len(xs)))
+			name := symbolFor(p.Name()) + strconv.Itoa(idx+1)
+			if v.Name != "" {
+				name += "," + v.Name
+			}
+			ser := stats.Series{Name: name}
+			for k, x := range xs {
+				ser.Add(x, ys[k])
+			}
+			res.Series = append(res.Series, ser)
+		}
+	}
+	return nil
+}

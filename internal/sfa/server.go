@@ -651,22 +651,9 @@ func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pol core.Policy
-	switch p.Policy {
-	case "", "shapley":
-		pol = core.ShapleyPolicy{}
-	case "proportional":
-		pol = core.ProportionalPolicy{}
-	case "consumption":
-		pol = core.ConsumptionPolicy{}
-	case "equal":
-		pol = core.EqualPolicy{}
-	case "nucleolus":
-		pol = core.NucleolusPolicy{}
-	case "banzhaf":
-		pol = core.BanzhafPolicy{}
-	default:
-		return nil, fmt.Errorf("unknown policy %q", p.Policy)
+	pol, err := core.PolicyByName(p.Policy)
+	if err != nil {
+		return nil, err
 	}
 	sharesVec, err := pol.Shares(model)
 	if err != nil {
