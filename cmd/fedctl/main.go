@@ -184,8 +184,7 @@ func main() {
 // a table: counters and gauges one line each, histograms as
 // count/mean/max-bucket summaries.
 func printMetrics(addr string) error {
-	httpc := &http.Client{Timeout: 10 * time.Second}
-	resp, err := httpc.Get("http://" + addr + "/metrics.json")
+	resp, err := fetchMetrics(addr)
 	if err != nil {
 		return err
 	}
@@ -197,6 +196,32 @@ func printMetrics(addr string) error {
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		return fmt.Errorf("metrics decode: %w", err)
 	}
+	return renderMetrics(snap)
+}
+
+// fetchMetrics retries transient connection failures (a daemon still coming
+// up, or a metrics listener mid-restart) with doubling backoff. Non-200
+// responses are NOT retried: the daemon answered, so asking again changes
+// nothing.
+func fetchMetrics(addr string) (*http.Response, error) {
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	var lastErr error
+	delay := 100 * time.Millisecond
+	for attempt := 0; attempt < 5; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+		resp, err := httpc.Get("http://" + addr + "/metrics.json")
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("metrics fetch (after retries): %w", lastErr)
+}
+
+func renderMetrics(snap obs.Snapshot) error {
 	for _, f := range snap.Families {
 		fmt.Printf("%s (%s)", f.Name, f.Type)
 		if f.Help != "" {

@@ -9,9 +9,13 @@
 // The daemon serves the SFA wire protocol: resource advertisement, peering,
 // federated slice embedding, and value-share computation. With
 // -metrics-addr it also serves the observability endpoint: Prometheus text
-// format at /metrics and a JSON snapshot at /metrics.json (the latter is
-// what `fedctl metrics` renders). At -log-level debug every dispatched
-// request and span is logged as a structured key=value line.
+// format at /metrics, a JSON snapshot at /metrics.json (what `fedctl
+// metrics` renders), a liveness probe at /healthz, and a readiness probe at
+// /readyz that flips to 503 while the daemon drains. On SIGTERM/SIGINT the
+// daemon shuts down gracefully: readiness flips, the optional -drain-grace
+// lame-duck period elapses, in-flight requests finish, and only then does
+// the process exit. At -log-level debug every dispatched request and span
+// is logged as a structured key=value line.
 package main
 
 import (
@@ -22,7 +26,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"fedshare/internal/obs"
 	"fedshare/internal/planetlab"
@@ -37,7 +43,8 @@ func main() {
 	capacity := flag.Int("capacity", 10, "sliver capacity per node")
 	secret := flag.String("secret", "", "shared federation secret (required)")
 	peer := flag.String("peer", "", "optional peer registry address to federate with at startup")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /readyz on this address (empty = disabled)")
+	drainGrace := flag.Duration("drain-grace", 0, "lame-duck period between flipping /readyz to 503 and draining connections")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, or error")
 	flag.Parse()
 
@@ -73,6 +80,7 @@ func main() {
 		}
 	}
 
+	var shuttingDown atomic.Bool
 	srv := sfa.NewServer(auth, []byte(*secret), sfa.WithLogLevel(level))
 	if level <= obs.LogDebug {
 		// Route span trace lines through the same log stream as server
@@ -92,7 +100,12 @@ func main() {
 		}
 		log.Printf("fedd: metrics on http://%s/metrics", mln.Addr())
 		go func() {
-			if err := http.Serve(mln, obs.Handler()); err != nil {
+			// /readyz flips to 503 the moment shutdown begins, so an
+			// orchestrator stops routing before the listener goes away.
+			handler := obs.HandlerWithHealth(func() bool {
+				return !shuttingDown.Load() && !srv.Draining()
+			})
+			if err := http.Serve(mln, handler); err != nil {
 				log.Printf("fedd: metrics server: %v", err)
 			}
 		}()
@@ -107,6 +120,30 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	<-sigc
+	// Graceful shutdown: flip readiness, wait out the lame-duck grace so
+	// load balancers observe the 503 and stop routing, then stop accepting
+	// and let in-flight requests finish. Leased resources are left to their
+	// holders. A second signal during the drain exits immediately.
+	log.Printf("fedd: %s draining", *name)
+	shuttingDown.Store(true)
+	if *drainGrace > 0 {
+		select {
+		case <-time.After(*drainGrace):
+		case <-sigc:
+			log.Printf("fedd: %s forced shutdown", *name)
+			return
+		}
+	}
+	drained := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-sigc:
+		log.Printf("fedd: %s forced shutdown", *name)
+	}
 	log.Printf("fedd: %s shutting down", *name)
 	if err := srv.Close(); err != nil {
 		log.Printf("fedd: close: %v", err)

@@ -3,11 +3,14 @@
 package fedshare_test
 
 import (
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -130,6 +133,105 @@ func TestCLIFederationEndToEnd(t *testing.T) {
 	out = run(t, fedctl, "-addr", addrA, "-secret", "it", "slice", "delete", "global")
 	if !strings.Contains(out, "deleted") {
 		t.Errorf("slice delete: %q", out)
+	}
+}
+
+// TestCLIGracefulDrain covers the daemon's shutdown path: SIGTERM flips
+// /readyz to 503 during the lame-duck grace period, the daemon drains its
+// connections, and the process exits cleanly.
+func TestCLIGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skip in -short mode")
+	}
+	fedd, _, _ := buildTools(t)
+	addrA, addrB, maddr := freePort(t), freePort(t), freePort(t)
+
+	dA := exec.Command(fedd, "-name", "PLC", "-listen", addrA,
+		"-sites", "2", "-nodes", "1", "-capacity", "2", "-secret", "it")
+	if err := dA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dA.Process.Kill(); _, _ = dA.Process.Wait() }()
+	waitReachable(t, addrA)
+
+	var logB strings.Builder
+	dB := exec.Command(fedd, "-name", "PLE", "-listen", addrB,
+		"-sites", "2", "-nodes", "1", "-capacity", "2", "-secret", "it",
+		"-peer", addrA, "-metrics-addr", maddr, "-drain-grace", "3s")
+	dB.Stderr = &logB
+	if err := dB.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dB.Process.Kill(); _, _ = dB.Process.Wait() }()
+	waitReachable(t, addrB)
+	waitReachable(t, maddr)
+
+	httpc := &http.Client{Timeout: 2 * time.Second}
+	get := func(path string) (int, string) {
+		resp, err := httpc.Get("http://" + maddr + path)
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d, want 200", code)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("/readyz = %d, want 200 before drain", code)
+	}
+	// The daemon exposes the fault-tolerance metric families: the server's
+	// lease/dedup instrumentation and (because -peer created an SFA client)
+	// the client retry/breaker families.
+	_, metrics := get("/metrics")
+	for _, family := range []string{
+		"fedshare_sfa_leases_active",
+		"fedshare_sfa_leases_expired_total",
+		"fedshare_sfa_dedup_replays_total",
+		"fedshare_sfa_client_retries_total",
+		"fedshare_sfa_client_redials_total",
+		"fedshare_sfa_client_breaker_state",
+	} {
+		if !strings.Contains(metrics, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	if err := dB.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Within the 3s lame-duck window the process is still alive and
+	// readiness reports 503.
+	flipped := false
+	for i := 0; i < 100; i++ {
+		if code, _ := get("/readyz"); code == 503 {
+			flipped = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !flipped {
+		t.Error("/readyz never flipped to 503 after SIGTERM")
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Error("/healthz should stay 200 while draining")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- dB.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("fedd exited uncleanly: %v\n%s", err, logB.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("fedd did not exit after SIGTERM")
+	}
+	if out := logB.String(); !strings.Contains(out, "draining") {
+		t.Errorf("daemon log missing drain notice:\n%s", out)
 	}
 }
 

@@ -126,8 +126,18 @@ func escapeHelp(s string) string {
 }
 
 // Handler returns an http.Handler serving the Prometheus text format at
-// /metrics and the JSON snapshot at /metrics.json.
+// /metrics and the JSON snapshot at /metrics.json, plus liveness and
+// readiness probes (always-ready; see HandlerWithHealth).
 func (r *Registry) Handler() http.Handler {
+	return r.HandlerWithHealth(nil)
+}
+
+// HandlerWithHealth is Handler plus orchestration probes: /healthz always
+// answers 200 (the process is alive), while /readyz answers 200 only while
+// ready() is true and 503 otherwise — a draining daemon flips it so load
+// balancers stop routing to it before the listener goes away. A nil ready
+// means always ready.
+func (r *Registry) HandlerWithHealth(ready func() bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -139,8 +149,26 @@ func (r *Registry) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	return mux
 }
 
 // Handler serves the Default registry.
 func Handler() http.Handler { return Default.Handler() }
+
+// HandlerWithHealth serves the Default registry with a readiness probe.
+func HandlerWithHealth(ready func() bool) http.Handler {
+	return Default.HandlerWithHealth(ready)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -106,6 +107,53 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if f := byName["fedshare_req_total"]; f.Metrics[0].Labels["method"] != "sfa.Ping" {
 		t.Errorf("json labels = %+v", byName["fedshare_req_total"])
+	}
+}
+
+func TestHealthEndpoints(t *testing.T) {
+	ready := true
+	var mu sync.Mutex
+	srv := httptest.NewServer(NewRegistry().HandlerWithHealth(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return ready
+	}))
+	defer srv.Close()
+
+	status := func(path string) int {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/healthz"); got != 200 {
+		t.Errorf("/healthz = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != 200 {
+		t.Errorf("/readyz = %d, want 200 while ready", got)
+	}
+	mu.Lock()
+	ready = false
+	mu.Unlock()
+	// A draining daemon stays alive but stops being ready.
+	if got := status("/healthz"); got != 200 {
+		t.Errorf("/healthz while draining = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != 503 {
+		t.Errorf("/readyz while draining = %d, want 503", got)
+	}
+	// The plain Handler has no readiness hook: always ready.
+	plain := httptest.NewServer(NewRegistry().Handler())
+	defer plain.Close()
+	resp, err := plain.Client().Get(plain.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("plain /readyz = %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,187 @@
+package sfa
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedshare/internal/planetlab"
+)
+
+// --- Idempotency dedup ---
+
+// dedupEntry is the outcome of one keyed request (Reserve or Release).
+// done is closed once resp or errMsg is final; concurrent duplicates wait
+// on it and replay.
+type dedupEntry struct {
+	done     chan struct{}
+	resp     interface{}
+	errMsg   string
+	complete atomic.Bool
+}
+
+// dedupTable is a bounded idempotency-key table. Eviction is FIFO over
+// completed entries, so a misbehaving client cannot grow it without bound
+// while in-flight requests are never dropped mid-execution.
+type dedupTable struct {
+	mu       sync.Mutex
+	capLimit int
+	entries  map[string]*dedupEntry
+	order    []string
+}
+
+func newDedupTable(capLimit int) *dedupTable {
+	return &dedupTable{capLimit: capLimit, entries: map[string]*dedupEntry{}}
+}
+
+// claim returns the entry for key. claimed is true when this caller owns
+// execution and must fill the entry via finish; false means another request
+// already executed (or is executing) the key — wait on entry.done and
+// replay.
+func (d *dedupTable) claim(key string) (entry *dedupEntry, claimed bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.entries[key]; ok {
+		return e, false
+	}
+	e := &dedupEntry{done: make(chan struct{})}
+	d.entries[key] = e
+	d.order = append(d.order, key)
+	for len(d.entries) > d.capLimit {
+		evicted := false
+		for i, old := range d.order {
+			if e2, ok := d.entries[old]; ok && e2.complete.Load() {
+				delete(d.entries, old)
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // everything in flight; allow temporary overshoot
+		}
+	}
+	return e, true
+}
+
+// finish publishes the outcome and wakes replaying waiters.
+func (e *dedupEntry) finish(resp interface{}, errMsg string) {
+	e.resp = resp
+	e.errMsg = errMsg
+	e.complete.Store(true)
+	close(e.done)
+}
+
+// size reports the current number of remembered keys.
+func (d *dedupTable) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}
+
+// --- Leases ---
+
+// leaseKind distinguishes what expiry must undo.
+type leaseKind int
+
+const (
+	// leaseReserve holds slivers placed by handleReserve for a remote
+	// coordinator; expiry releases them locally.
+	leaseReserve leaseKind = iota
+	// leaseSlice holds a whole slice embedded by handleCreateSlice; expiry
+	// deletes the slice and releases its remote slivers too.
+	leaseSlice
+)
+
+// serverLease is one slice's time-limited hold on resources.
+type serverLease struct {
+	slice   string
+	kind    leaseKind
+	expiry  time.Time
+	slivers []planetlab.Sliver // leaseReserve only
+}
+
+// leaseTable indexes active leases by slice name.
+type leaseTable struct {
+	mu     sync.Mutex
+	leases map[string]*serverLease
+}
+
+func newLeaseTable() *leaseTable {
+	return &leaseTable{leases: map[string]*serverLease{}}
+}
+
+// add registers (or extends) a lease. A repeated add for the same slice
+// merges slivers and keeps the later expiry. It reports whether the lease
+// is new.
+func (lt *leaseTable) add(slice string, kind leaseKind, slivers []planetlab.Sliver, expiry time.Time) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if l, ok := lt.leases[slice]; ok {
+		l.slivers = append(l.slivers, slivers...)
+		if expiry.After(l.expiry) {
+			l.expiry = expiry
+		}
+		return false
+	}
+	lt.leases[slice] = &serverLease{slice: slice, kind: kind, expiry: expiry, slivers: slivers}
+	return true
+}
+
+// remove drops the lease for slice (explicit release or delete). It
+// reports whether a lease existed.
+func (lt *leaseTable) remove(slice string) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if _, ok := lt.leases[slice]; !ok {
+		return false
+	}
+	delete(lt.leases, slice)
+	return true
+}
+
+// trim removes specific slivers from a reserve lease after a partial
+// Release; when none remain the lease itself goes away. It reports whether
+// the lease was fully removed.
+func (lt *leaseTable) trim(slice string, released []planetlab.Sliver) bool {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.leases[slice]
+	if !ok {
+		return false
+	}
+	for _, rel := range released {
+		for i, sv := range l.slivers {
+			if sv.SiteID == rel.SiteID && sv.NodeID == rel.NodeID {
+				l.slivers = append(l.slivers[:i], l.slivers[i+1:]...)
+				break
+			}
+		}
+	}
+	if len(l.slivers) == 0 {
+		delete(lt.leases, slice)
+		return true
+	}
+	return false
+}
+
+// expired removes and returns every lease whose expiry is at or before now.
+func (lt *leaseTable) expired(now time.Time) []*serverLease {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	var out []*serverLease
+	for name, l := range lt.leases {
+		if !l.expiry.After(now) {
+			out = append(out, l)
+			delete(lt.leases, name)
+		}
+	}
+	return out
+}
+
+// active reports the number of live leases.
+func (lt *leaseTable) active() int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	return len(lt.leases)
+}

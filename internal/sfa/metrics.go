@@ -13,6 +13,9 @@ type serverMetrics struct {
 	peers          *obs.Gauge        // fedshare_sfa_peers
 	acceptErrors   *obs.Counter      // fedshare_sfa_accept_errors_total
 	protocolErrors *obs.Counter      // fedshare_sfa_protocol_errors_total
+	leasesActive   *obs.Gauge        // fedshare_sfa_leases_active
+	leasesExpired  *obs.Counter      // fedshare_sfa_leases_expired_total
+	dedupReplays   *obs.CounterVec   // fedshare_sfa_dedup_replays_total{method}
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -31,6 +34,35 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Accept-loop failures (each also backs off the loop)."),
 		protocolErrors: r.Counter("fedshare_sfa_protocol_errors_total",
 			"Connections dropped on malformed or oversized frames."),
+		leasesActive: r.Gauge("fedshare_sfa_leases_active",
+			"Reservations currently held under an unexpired lease."),
+		leasesExpired: r.Counter("fedshare_sfa_leases_expired_total",
+			"Leases whose TTL elapsed and whose slivers the reaper released."),
+		dedupReplays: r.CounterVec("fedshare_sfa_dedup_replays_total",
+			"Requests answered by replaying a prior response (idempotency-key dedup), by method.", "method"),
+	}
+}
+
+// clientMetrics bundles the Client's fault-handling instrumentation.
+// Counters aggregate across all clients sharing a registry; the breaker
+// state gauge is labeled by peer address (0 closed, 1 half-open, 2 open).
+type clientMetrics struct {
+	retries      *obs.Counter  // fedshare_sfa_client_retries_total
+	redials      *obs.Counter  // fedshare_sfa_client_redials_total
+	breakerOpens *obs.Counter  // fedshare_sfa_client_breaker_opens_total
+	breakerState *obs.GaugeVec // fedshare_sfa_client_breaker_state{peer}
+}
+
+func newClientMetrics(r *obs.Registry) *clientMetrics {
+	return &clientMetrics{
+		retries: r.Counter("fedshare_sfa_client_retries_total",
+			"Call attempts beyond the first (transport-level retries)."),
+		redials: r.Counter("fedshare_sfa_client_redials_total",
+			"Reconnections after a broken client connection."),
+		breakerOpens: r.Counter("fedshare_sfa_client_breaker_opens_total",
+			"Circuit breaker closed/half-open to open transitions."),
+		breakerState: r.GaugeVec("fedshare_sfa_client_breaker_state",
+			"Circuit breaker state per peer: 0 closed, 1 half-open, 2 open.", "peer"),
 	}
 }
 

@@ -20,6 +20,40 @@ import (
 	"fedshare/internal/planetlab"
 )
 
+// ServerConfig tunes a Server's fault-tolerance machinery. Zero fields
+// take defaults, so the zero value preserves historical behavior.
+type ServerConfig struct {
+	// IdleReadDeadline drops a connection that sends nothing for this long
+	// (default 2m). Tests shrink it to ~100ms to exercise the idle-drop
+	// path quickly.
+	IdleReadDeadline time.Duration
+	// DedupCapacity bounds the Reserve idempotency-key table (default
+	// 1024 completed entries; in-flight entries are never evicted).
+	DedupCapacity int
+	// LeaseReapInterval paces the background lease reaper (default 1s).
+	LeaseReapInterval time.Duration
+	// Now supplies the lease clock (default time.Now). Tests substitute a
+	// simulated clock so expiry is driven deterministically; fedd keeps
+	// the wall clock.
+	Now func() time.Time
+}
+
+func (cfg ServerConfig) withDefaults() ServerConfig {
+	if cfg.IdleReadDeadline <= 0 {
+		cfg.IdleReadDeadline = 2 * time.Minute
+	}
+	if cfg.DedupCapacity <= 0 {
+		cfg.DedupCapacity = 1024
+	}
+	if cfg.LeaseReapInterval <= 0 {
+		cfg.LeaseReapInterval = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return cfg
+}
+
 // Server is one authority's SFA registry: it serves the wire protocol over
 // TCP, manages peering, embeds federated slices, and computes value shares
 // from the federation's advertised contributions.
@@ -30,6 +64,9 @@ type Server struct {
 	log     *obs.Logger
 	obsreg  *obs.Registry
 	metrics *serverMetrics
+	cfg     ServerConfig
+	dedup   *dedupTable
+	leases  *leaseTable
 
 	mu         sync.Mutex
 	record     AuthorityRecord
@@ -38,10 +75,13 @@ type Server struct {
 	conns      map[net.Conn]struct{}
 	usage      map[string]int // authority -> cumulative slivers served
 	embedded   int            // slices embedded via this registry
+	draining   bool
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed bool
+	ln       net.Listener
+	wg       sync.WaitGroup
+	reapStop chan struct{}
+	reapDone chan struct{}
+	closed   bool
 }
 
 type peerHandle struct {
@@ -77,6 +117,12 @@ func WithDemand(w *economics.Workload) Option {
 	return func(s *Server) { s.demand = w }
 }
 
+// WithConfig overrides the server's fault-tolerance configuration; zero
+// fields keep their defaults.
+func WithConfig(cfg ServerConfig) Option {
+	return func(s *Server) { s.cfg = cfg.withDefaults() }
+}
+
 // NewServer builds a registry for the given authority. secret is the
 // federation trust root shared among peered authorities.
 func NewServer(auth *planetlab.Authority, secret []byte, opts ...Option) *Server {
@@ -89,10 +135,13 @@ func NewServer(auth *planetlab.Authority, secret []byte, opts ...Option) *Server
 		usage:      map[string]int{},
 		log:        obs.NewLogger(log.Printf, obs.LogInfo),
 		obsreg:     obs.Default,
+		cfg:        ServerConfig{}.withDefaults(),
+		leases:     newLeaseTable(),
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.dedup = newDedupTable(s.cfg.DedupCapacity)
 	s.metrics = newServerMetrics(s.obsreg)
 	return s
 }
@@ -111,10 +160,63 @@ func (s *Server) Start(addr string) error {
 		Addr:  ln.Addr().String(),
 		Sites: s.auth.SiteCount(),
 	}
+	s.reapStop = make(chan struct{})
+	s.reapDone = make(chan struct{})
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
+	go s.reapLoop()
 	return nil
+}
+
+// reapLoop periodically releases expired leases until Close. The tick is
+// wall-clock paced but expiry is judged by cfg.Now, so tests drive a
+// simulated clock while fedd runs in real time.
+func (s *Server) reapLoop() {
+	defer close(s.reapDone)
+	t := time.NewTicker(s.cfg.LeaseReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case <-t.C:
+			s.reapExpiredLeases()
+		}
+	}
+}
+
+// reapExpiredLeases releases every lease whose TTL has elapsed and returns
+// how many it reaped.
+func (s *Server) reapExpiredLeases() int {
+	expired := s.leases.expired(s.cfg.Now())
+	for _, l := range expired {
+		switch l.kind {
+		case leaseReserve:
+			s.auth.ReleaseSlivers(l.slivers)
+			s.log.Infof("sfa[%s]: lease expired for %s: released %d slivers",
+				s.auth.Name, l.slice, len(l.slivers))
+		case leaseSlice:
+			s.expireSlice(l.slice)
+		}
+		s.metrics.leasesExpired.Inc()
+		s.metrics.leasesActive.Dec()
+	}
+	return len(expired)
+}
+
+// expireSlice deletes a leased slice exactly as an explicit DeleteSlice
+// would: local slivers are freed and remote slivers released at peers.
+func (s *Server) expireSlice(name string) {
+	if err := s.auth.DeleteSlice(name); err != nil {
+		s.log.Errorf("sfa[%s]: lease expiry of slice %s: %v", s.auth.Name, name, err)
+	}
+	s.mu.Lock()
+	remote := s.remoteRefs[name]
+	delete(s.remoteRefs, name)
+	s.mu.Unlock()
+	s.releaseRemote(name, remote)
+	s.log.Infof("sfa[%s]: slice lease expired: %s", s.auth.Name, name)
 }
 
 // Addr returns the listening address (valid after Start).
@@ -124,8 +226,10 @@ func (s *Server) Addr() string {
 	return s.record.Addr
 }
 
-// Close stops the listener, closes peer connections, and waits for active
-// connections to drain.
+// Close stops the listener, closes peer connections, stops the lease
+// reaper, and waits for active connections to drain. Leases still active
+// are left in place: their resources belong to remote coordinators and the
+// process is going away anyway.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -134,6 +238,10 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	if s.draining {
+		ln = nil // Drain already closed the listener
+	}
+	reapStop := s.reapStop
 	peers := s.peers
 	s.peers = map[string]*peerHandle{}
 	s.metrics.peers.Set(0)
@@ -146,6 +254,10 @@ func (s *Server) Close() error {
 	if ln != nil {
 		err = ln.Close()
 	}
+	if reapStop != nil {
+		close(reapStop)
+		<-s.reapDone
+	}
 	for _, p := range peers {
 		if p.client != nil {
 			_ = p.client.Close()
@@ -156,6 +268,44 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Drain gracefully quiesces the server: it stops accepting new
+// connections, lets in-flight requests finish, wakes idle connections so
+// they close promptly, and blocks until every connection handler has
+// returned. Active leases are NOT released — their holders still own the
+// resources until TTL or explicit Release. Draining() reports true from
+// the moment Drain is entered, so a readiness probe can flip to 503 while
+// in-flight work completes. Call Close afterwards for final cleanup.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if !already {
+		if ln != nil {
+			_ = ln.Close()
+		}
+		// Expire idle reads immediately; serveConn re-checks the draining
+		// flag after arming each read deadline, so no connection can
+		// re-arm past this point and linger.
+		for _, c := range conns {
+			_ = c.SetReadDeadline(time.Now())
+		}
+	}
+	s.wg.Wait()
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
 }
 
 // acceptBackoffMax caps the accept-loop retry delay.
@@ -210,7 +360,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer conn.Close()
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining {
 		s.mu.Unlock()
 		return
 	}
@@ -226,7 +376,16 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		if err := conn.SetReadDeadline(time.Now().Add(2 * time.Minute)); err != nil {
+		if s.Draining() {
+			return
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleReadDeadline)); err != nil {
+			return
+		}
+		// Re-check after arming the deadline: Drain sets an immediate
+		// deadline on every connection, and this second look closes the
+		// race where our SetReadDeadline overwrote it.
+		if s.Draining() {
 			return
 		}
 		req, err := ReadFrame(r)
@@ -365,7 +524,10 @@ func (s *Server) handlePeer(p PeerRequest) (*PeerResponse, error) {
 	return &PeerResponse{Record: rec}, nil
 }
 
-// handleReserve places slivers locally for a remote federated slice.
+// handleReserve places slivers locally for a remote federated slice. With
+// an idempotency key, a retried request replays the original response
+// instead of double-booking; with a TTL, the reservation is a lease the
+// reaper releases once the holding time elapses.
 func (s *Server) handleReserve(p ReserveRequest) (*ReserveResponse, error) {
 	if err := s.verify(p.Credential); err != nil {
 		return nil, err
@@ -373,6 +535,38 @@ func (s *Server) handleReserve(p ReserveRequest) (*ReserveResponse, error) {
 	if p.Sites <= 0 || p.PerSite <= 0 {
 		return nil, fmt.Errorf("reserve needs positive sites and per-site counts")
 	}
+	var entry *dedupEntry
+	if p.IdempotencyKey != "" {
+		e, claimed := s.dedup.claim(p.IdempotencyKey)
+		if !claimed {
+			// A duplicate (retry after a lost response, or a concurrent
+			// twin): wait for the original execution and replay its
+			// outcome verbatim.
+			<-e.done
+			s.metrics.dedupReplays.With(MethodReserve).Inc()
+			s.log.Debugf("sfa[%s]: reserve dedup replay for key %q", s.auth.Name, p.IdempotencyKey)
+			if e.errMsg != "" {
+				return nil, errors.New(e.errMsg)
+			}
+			resp, _ := e.resp.(*ReserveResponse)
+			return resp, nil
+		}
+		entry = e
+	}
+	resp, err := s.reserveLocked(p)
+	if entry != nil {
+		msg := ""
+		if err != nil {
+			msg = err.Error()
+		}
+		entry.finish(resp, msg)
+	}
+	return resp, err
+}
+
+// reserveLocked performs the actual placement (exactly once per
+// idempotency key).
+func (s *Server) reserveLocked(p ReserveRequest) (*ReserveResponse, error) {
 	candidates := s.auth.AvailableSites(p.PerSite)
 	if len(candidates) > p.Sites {
 		candidates = candidates[:p.Sites]
@@ -385,6 +579,12 @@ func (s *Server) handleReserve(p ReserveRequest) (*ReserveResponse, error) {
 		}
 		placed = append(placed, svs...)
 	}
+	if p.TTLSeconds > 0 && len(placed) > 0 {
+		expiry := s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
+		if s.leases.add(p.SliceName, leaseReserve, placed, expiry) {
+			s.metrics.leasesActive.Inc()
+		}
+	}
 	resp := &ReserveResponse{}
 	for _, sv := range placed {
 		resp.Slivers = append(resp.Slivers, SliverRecord{
@@ -394,10 +594,26 @@ func (s *Server) handleReserve(p ReserveRequest) (*ReserveResponse, error) {
 	return resp, nil
 }
 
-// handleRelease frees locally held slivers of a federated slice.
+// handleRelease frees locally held slivers of a federated slice. A keyed
+// release is idempotent: retrying a release whose response was lost must
+// not decrement node load twice, or capacity leaks to other slices.
 func (s *Server) handleRelease(p ReleaseRequest) (*Empty, error) {
 	if err := s.verify(p.Credential); err != nil {
 		return nil, err
+	}
+	var entry *dedupEntry
+	if p.IdempotencyKey != "" {
+		e, claimed := s.dedup.claim(p.IdempotencyKey)
+		if !claimed {
+			<-e.done
+			s.metrics.dedupReplays.With(MethodRelease).Inc()
+			s.log.Debugf("sfa[%s]: release dedup replay for key %q", s.auth.Name, p.IdempotencyKey)
+			if e.errMsg != "" {
+				return nil, errors.New(e.errMsg)
+			}
+			return &Empty{}, nil
+		}
+		entry = e
 	}
 	var svs []planetlab.Sliver
 	for _, rec := range p.Slivers {
@@ -409,6 +625,14 @@ func (s *Server) handleRelease(p ReleaseRequest) (*Empty, error) {
 		})
 	}
 	s.auth.ReleaseSlivers(svs)
+	// An explicit release settles the corresponding lease (fully or
+	// partially); released slivers must not be re-released at expiry.
+	if s.leases.trim(p.SliceName, svs) {
+		s.metrics.leasesActive.Dec()
+	}
+	if entry != nil {
+		entry.finish(&Empty{}, "")
+	}
 	return &Empty{}, nil
 }
 
@@ -474,6 +698,10 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 		var rr ReserveResponse
 		err := ph.client.Call(MethodReserve, ReserveRequest{
 			Credential: cred, SliceName: p.Name, Sites: need, PerSite: per,
+			// One logical reservation per (coordinator, slice, peer):
+			// client-level retries of this call dedup server-side.
+			IdempotencyKey: s.auth.Name + "/" + p.Name + "@" + ph.record.Name,
+			TTLSeconds:     p.TTLSeconds,
 		}, &rr)
 		if err != nil {
 			s.log.Errorf("sfa[%s]: reserve at %s failed: %v", s.auth.Name, ph.record.Name, err)
@@ -510,6 +738,14 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 		s.usage[sv.Authority]++
 	}
 	s.mu.Unlock()
+	if p.TTLSeconds > 0 {
+		// Lease the whole slice for the experiment's holding time; the
+		// reaper deletes it (and releases remote slivers) at expiry.
+		expiry := s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
+		if s.leases.add(p.Name, leaseSlice, nil, expiry) {
+			s.metrics.leasesActive.Inc()
+		}
+	}
 
 	resp := &SliceResponse{Name: p.Name, Sites: sitesGot}
 	for _, sv := range localSlivers {
@@ -527,6 +763,9 @@ func (s *Server) handleDeleteSlice(p DeleteRequest) (*Empty, error) {
 	}
 	if err := s.auth.DeleteSlice(p.Name); err != nil {
 		return nil, err
+	}
+	if s.leases.remove(p.Name) {
+		s.metrics.leasesActive.Dec()
 	}
 	s.mu.Lock()
 	remote := s.remoteRefs[p.Name]
@@ -556,6 +795,8 @@ func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
 		}
 		if err := ph.client.Call(MethodRelease, ReleaseRequest{
 			Credential: cred, SliceName: sliceName, Slivers: svs,
+			// Retries of this release must not double-free at the peer.
+			IdempotencyKey: s.auth.Name + "/" + sliceName + "@" + name + "/release",
 		}, nil); err != nil {
 			s.log.Errorf("sfa[%s]: release at %s: %v", s.auth.Name, name, err)
 		}

@@ -141,6 +141,10 @@ type SliceRequest struct {
 	MinSites       int        `json:"min_sites"`
 	MaxSites       int        `json:"max_sites"`
 	SliversPerSite int        `json:"slivers_per_site"`
+	// TTLSeconds leases the slice for the experiment's holding time: once
+	// it elapses the embedding server deletes the slice and releases its
+	// local and remote slivers. Zero means no lease.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
 }
 
 // SliverRecord is one placed sliver.
@@ -164,6 +168,15 @@ type ReserveRequest struct {
 	SliceName  string     `json:"slice_name"`
 	Sites      int        `json:"sites"` // how many distinct sites
 	PerSite    int        `json:"per"`   // slivers per site
+	// IdempotencyKey makes retries safe: the server remembers the response
+	// to each key in a bounded table and replays it instead of reserving
+	// again. Empty disables dedup (legacy behavior).
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// TTLSeconds turns the reservation into a lease: the server's reaper
+	// releases the slivers once the TTL elapses without an explicit
+	// Release. It models the finite holding time t of the paper's demand
+	// classes. Zero means no lease (held until released).
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
 }
 
 // ReserveResponse returns the placed slivers.
@@ -176,6 +189,10 @@ type ReleaseRequest struct {
 	Credential Credential     `json:"credential"`
 	SliceName  string         `json:"slice_name"`
 	Slivers    []SliverRecord `json:"slivers"`
+	// IdempotencyKey makes retried releases safe: without it, a release
+	// whose response was lost and which is then retried would decrement
+	// node load twice and corrupt the accounting other slices rely on.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // SharesRequest asks the authority for the federation value shares it has
