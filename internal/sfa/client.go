@@ -113,24 +113,34 @@ func (c *Client) breakConn() {
 // nil to discard). Server-side failures come back as *RemoteError without
 // retry; transport failures are retried per the client's retry budget and
 // surface the last error once the budget is exhausted.
+//
+// The mutex serializes only the wire round-trips: backoff sleeps happen
+// with the lock released, so one call's backoff never blocks concurrent
+// callers (or Close) for the duration of its retry schedule. The breaker is
+// consulted before each backoff, so a call against an open breaker fails
+// fast instead of sleeping first.
 func (c *Client) Call(method string, params, result interface{}) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var lastErr error
 	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			c.stats.Retries++
-			c.metrics.retries.Inc()
-			c.cfg.Sleep(backoffDelay(c.cfg.RetryBase, c.cfg.RetryMax, attempt-1, c.rng))
-		}
+		c.mu.Lock()
 		if !c.breaker.allow(c.cfg.Now()) {
+			c.mu.Unlock()
 			return circuitOpenError(c.cfg.Addr, lastErr)
 		}
 		c.setBreakerGauge()
+		if attempt > 1 {
+			c.stats.Retries++
+			c.metrics.retries.Inc()
+			delay := backoffDelay(c.cfg.RetryBase, c.cfg.RetryMax, attempt-1, c.rng)
+			c.mu.Unlock()
+			c.cfg.Sleep(delay)
+			c.mu.Lock()
+		}
 		err := c.callOnce(method, params, result)
 		if err == nil {
 			c.breaker.success()
 			c.setBreakerGauge()
+			c.mu.Unlock()
 			return nil
 		}
 		var remote *RemoteError
@@ -139,6 +149,7 @@ func (c *Client) Call(method string, params, result interface{}) error {
 			// was executed, so neither retry nor breaker bookkeeping.
 			c.breaker.success()
 			c.setBreakerGauge()
+			c.mu.Unlock()
 			return err
 		}
 		lastErr = err
@@ -146,6 +157,7 @@ func (c *Client) Call(method string, params, result interface{}) error {
 			c.metrics.breakerOpens.Inc()
 		}
 		c.setBreakerGauge()
+		c.mu.Unlock()
 	}
 	return lastErr
 }

@@ -235,6 +235,31 @@ func TestCircuitBreakerFailsFastAndRecovers(t *testing.T) {
 	}
 }
 
+func TestOpenBreakerFailsFastWithoutBackoffSleep(t *testing.T) {
+	var sleeps atomic.Int64
+	now := time.Unix(1000, 0)
+	c := NewClient(ClientConfig{
+		Addr: "127.0.0.1:1", MaxAttempts: 3, RetryBase: time.Millisecond,
+		BreakerThreshold: 1, BreakerCooldown: time.Minute,
+		Registry: obs.NewRegistry(),
+		Now:      func() time.Time { return now },
+		Sleep:    func(time.Duration) { sleeps.Add(1) },
+		DialFunc: func(addr string, timeout time.Duration) (net.Conn, error) {
+			return nil, errors.New("host down (simulated)")
+		},
+	})
+	defer c.Close()
+	// Attempt 1 fails and opens the breaker (threshold 1). The retry loop
+	// must consult the breaker before backing off, failing fast instead of
+	// sleeping toward a call that would be rejected anyway.
+	if err := c.Call(MethodPing, nil, nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if n := sleeps.Load(); n != 0 {
+		t.Errorf("slept %d times against an open breaker, want 0", n)
+	}
+}
+
 func TestConcurrentCallersShareOneConnection(t *testing.T) {
 	srv := startServer(t, buildAuthority(t, "PLC", 1, 1, 1), WithMetrics(obs.NewRegistry()))
 	c := NewClient(ClientConfig{Addr: srv.Addr(), Registry: obs.NewRegistry()})

@@ -93,7 +93,9 @@ const (
 	leaseSlice
 )
 
-// serverLease is one slice's time-limited hold on resources.
+// serverLease is one slice's hold on resources. A zero expiry means the
+// slivers are held until explicit release and the reaper never touches
+// them; a non-zero expiry makes the holding a lease.
 type serverLease struct {
 	slice   string
 	kind    leaseKind
@@ -101,85 +103,117 @@ type serverLease struct {
 	slivers []planetlab.Sliver // leaseReserve only
 }
 
-// leaseTable indexes active leases by slice name.
+func (l *serverLease) leased() bool { return !l.expiry.IsZero() }
+
+// leaseTable indexes active holdings by slice name. It tracks *all* reserve
+// holdings — leased or not — so Release can free exactly the slivers this
+// server still holds: once the reaper (or a racing duplicate) has freed a
+// sliver, a later Release for it is a no-op instead of a second node-load
+// decrement that would leak capacity held by other slices.
 type leaseTable struct {
-	mu     sync.Mutex
-	leases map[string]*serverLease
+	mu         sync.Mutex
+	leases     map[string]*serverLease
+	lastLeased int
+	// onChange, when set, observes the change in the number of *leased*
+	// entries after every mutation. It is invoked under mu, so deltas are
+	// ordered and sum to the live count however mutations interleave.
+	onChange func(delta int)
 }
 
 func newLeaseTable() *leaseTable {
 	return &leaseTable{leases: map[string]*serverLease{}}
 }
 
-// add registers (or extends) a lease. A repeated add for the same slice
-// merges slivers and keeps the later expiry. It reports whether the lease
-// is new.
-func (lt *leaseTable) add(slice string, kind leaseKind, slivers []planetlab.Sliver, expiry time.Time) bool {
+// notifyLocked reports the leased-entry delta since the last mutation.
+// Caller holds lt.mu.
+func (lt *leaseTable) notifyLocked() {
+	leased := 0
+	for _, l := range lt.leases {
+		if l.leased() {
+			leased++
+		}
+	}
+	delta := leased - lt.lastLeased
+	lt.lastLeased = leased
+	if lt.onChange != nil && delta != 0 {
+		lt.onChange(delta)
+	}
+}
+
+// add registers (or extends) a holding. A repeated add for the same slice
+// merges slivers and keeps the later expiry, where a zero expiry acts as
+// +infinity: merging an indefinite holding with a leased one leaves the
+// whole holding indefinite rather than silently expiring it.
+func (lt *leaseTable) add(slice string, kind leaseKind, slivers []planetlab.Sliver, expiry time.Time) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	if l, ok := lt.leases[slice]; ok {
 		l.slivers = append(l.slivers, slivers...)
-		if expiry.After(l.expiry) {
+		if l.expiry.IsZero() || expiry.IsZero() {
+			l.expiry = time.Time{}
+		} else if expiry.After(l.expiry) {
 			l.expiry = expiry
 		}
-		return false
+	} else {
+		lt.leases[slice] = &serverLease{slice: slice, kind: kind, expiry: expiry, slivers: slivers}
 	}
-	lt.leases[slice] = &serverLease{slice: slice, kind: kind, expiry: expiry, slivers: slivers}
-	return true
+	lt.notifyLocked()
 }
 
-// remove drops the lease for slice (explicit release or delete). It
-// reports whether a lease existed.
-func (lt *leaseTable) remove(slice string) bool {
+// remove drops the holding for slice (explicit delete).
+func (lt *leaseTable) remove(slice string) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
-	if _, ok := lt.leases[slice]; !ok {
-		return false
-	}
 	delete(lt.leases, slice)
-	return true
+	lt.notifyLocked()
 }
 
-// trim removes specific slivers from a reserve lease after a partial
-// Release; when none remain the lease itself goes away. It reports whether
-// the lease was fully removed.
-func (lt *leaseTable) trim(slice string, released []planetlab.Sliver) bool {
+// trim removes the requested slivers from a reserve holding and returns the
+// ones actually removed — the only slivers the caller may release. Requests
+// for slivers no longer tracked (already reaped, already released, or never
+// reserved here) return nothing. When no slivers remain the holding itself
+// goes away.
+func (lt *leaseTable) trim(slice string, requested []planetlab.Sliver) []planetlab.Sliver {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	l, ok := lt.leases[slice]
-	if !ok {
-		return false
+	if !ok || l.kind != leaseReserve {
+		return nil
 	}
-	for _, rel := range released {
+	var removed []planetlab.Sliver
+	for _, req := range requested {
 		for i, sv := range l.slivers {
-			if sv.SiteID == rel.SiteID && sv.NodeID == rel.NodeID {
+			if sv.SiteID == req.SiteID && sv.NodeID == req.NodeID {
 				l.slivers = append(l.slivers[:i], l.slivers[i+1:]...)
+				removed = append(removed, sv)
 				break
 			}
 		}
 	}
 	if len(l.slivers) == 0 {
 		delete(lt.leases, slice)
-		return true
 	}
-	return false
+	lt.notifyLocked()
+	return removed
 }
 
-// expired removes and returns every lease whose expiry is at or before now.
+// expired removes and returns every leased holding whose expiry is at or
+// before now. Indefinite (zero-expiry) holdings are never reaped.
 func (lt *leaseTable) expired(now time.Time) []*serverLease {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	var out []*serverLease
 	for name, l := range lt.leases {
-		if !l.expiry.After(now) {
+		if l.leased() && !l.expiry.After(now) {
 			out = append(out, l)
 			delete(lt.leases, name)
 		}
 	}
+	lt.notifyLocked()
 	return out
 }
 
-// active reports the number of live leases.
+// active reports the number of tracked holdings, leased or not.
 func (lt *leaseTable) active() int {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedshare/internal/core"
@@ -67,6 +68,7 @@ type Server struct {
 	cfg     ServerConfig
 	dedup   *dedupTable
 	leases  *leaseTable
+	seq     atomic.Uint64 // per-lifecycle nonce for outbound idempotency keys
 
 	mu         sync.Mutex
 	record     AuthorityRecord
@@ -143,6 +145,8 @@ func NewServer(auth *planetlab.Authority, secret []byte, opts ...Option) *Server
 	}
 	s.dedup = newDedupTable(s.cfg.DedupCapacity)
 	s.metrics = newServerMetrics(s.obsreg)
+	// Delta updates (not Set) so servers sharing a registry aggregate.
+	s.leases.onChange = func(delta int) { s.metrics.leasesActive.Add(float64(delta)) }
 	return s
 }
 
@@ -191,6 +195,9 @@ func (s *Server) reapLoop() {
 func (s *Server) reapExpiredLeases() int {
 	expired := s.leases.expired(s.cfg.Now())
 	for _, l := range expired {
+		// expired() already removed these holdings from the table, so a
+		// Release racing us finds nothing to trim and releases nothing;
+		// only this goroutine frees the slivers.
 		switch l.kind {
 		case leaseReserve:
 			s.auth.ReleaseSlivers(l.slivers)
@@ -200,7 +207,6 @@ func (s *Server) reapExpiredLeases() int {
 			s.expireSlice(l.slice)
 		}
 		s.metrics.leasesExpired.Inc()
-		s.metrics.leasesActive.Dec()
 	}
 	return len(expired)
 }
@@ -537,7 +543,10 @@ func (s *Server) handleReserve(p ReserveRequest) (*ReserveResponse, error) {
 	}
 	var entry *dedupEntry
 	if p.IdempotencyKey != "" {
-		e, claimed := s.dedup.claim(p.IdempotencyKey)
+		// Keys are namespaced by method so a key accidentally reused
+		// across Reserve and Release can never replay the wrong method's
+		// cached outcome.
+		e, claimed := s.dedup.claim("reserve:" + p.IdempotencyKey)
 		if !claimed {
 			// A duplicate (retry after a lost response, or a concurrent
 			// twin): wait for the original execution and replay its
@@ -548,7 +557,12 @@ func (s *Server) handleReserve(p ReserveRequest) (*ReserveResponse, error) {
 			if e.errMsg != "" {
 				return nil, errors.New(e.errMsg)
 			}
-			resp, _ := e.resp.(*ReserveResponse)
+			resp, ok := e.resp.(*ReserveResponse)
+			if !ok {
+				// Unreachable with namespaced keys, but fail loudly rather
+				// than replaying a silent empty success.
+				return nil, fmt.Errorf("idempotency key %q: cached outcome is not a reserve response", p.IdempotencyKey)
+			}
 			return resp, nil
 		}
 		entry = e
@@ -579,11 +593,15 @@ func (s *Server) reserveLocked(p ReserveRequest) (*ReserveResponse, error) {
 		}
 		placed = append(placed, svs...)
 	}
-	if p.TTLSeconds > 0 && len(placed) > 0 {
-		expiry := s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
-		if s.leases.add(p.SliceName, leaseReserve, placed, expiry) {
-			s.metrics.leasesActive.Inc()
+	if len(placed) > 0 {
+		// Track every holding, leased (TTL set, zero expiry means held
+		// indefinitely) or not, so Release can free exactly the slivers
+		// still held here and nothing else.
+		var expiry time.Time
+		if p.TTLSeconds > 0 {
+			expiry = s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
 		}
+		s.leases.add(p.SliceName, leaseReserve, placed, expiry)
 	}
 	resp := &ReserveResponse{}
 	for _, sv := range placed {
@@ -603,7 +621,7 @@ func (s *Server) handleRelease(p ReleaseRequest) (*Empty, error) {
 	}
 	var entry *dedupEntry
 	if p.IdempotencyKey != "" {
-		e, claimed := s.dedup.claim(p.IdempotencyKey)
+		e, claimed := s.dedup.claim("release:" + p.IdempotencyKey)
 		if !claimed {
 			<-e.done
 			s.metrics.dedupReplays.With(MethodRelease).Inc()
@@ -624,12 +642,12 @@ func (s *Server) handleRelease(p ReleaseRequest) (*Empty, error) {
 			SliceName: p.SliceName, SiteID: rec.SiteID, NodeID: rec.NodeID,
 		})
 	}
-	s.auth.ReleaseSlivers(svs)
-	// An explicit release settles the corresponding lease (fully or
-	// partially); released slivers must not be re-released at expiry.
-	if s.leases.trim(p.SliceName, svs) {
-		s.metrics.leasesActive.Dec()
-	}
+	// Release only slivers this server still tracks as held: if the lease
+	// reaper or a racing duplicate already freed them, a second node-load
+	// decrement would free capacity still held by other slices. Trimming
+	// also settles the lease so released slivers are not re-freed at
+	// expiry.
+	s.auth.ReleaseSlivers(s.leases.trim(p.SliceName, svs))
 	if entry != nil {
 		entry.finish(&Empty{}, "")
 	}
@@ -687,6 +705,13 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 
 	// Peers, in deterministic order, until the threshold (and max) is met.
 	cred := IssueCredential(s.secret, s.auth.Name, s.auth.Name, time.Minute)
+	// One idempotency generation per CreateSlice invocation: client-level
+	// retries of each Reserve below share a key, while a later lifecycle of
+	// the same slice name (delete + recreate, or recreate after TTL expiry)
+	// draws a fresh generation and executes anew instead of replaying this
+	// lifecycle's cached outcome — including cached errors, which would
+	// otherwise poison the slice name at that peer forever.
+	gen := s.seq.Add(1)
 	for _, ph := range s.peerList() {
 		need := 1 << 20 // effectively unbounded
 		if maxSites > 0 {
@@ -698,9 +723,9 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 		var rr ReserveResponse
 		err := ph.client.Call(MethodReserve, ReserveRequest{
 			Credential: cred, SliceName: p.Name, Sites: need, PerSite: per,
-			// One logical reservation per (coordinator, slice, peer):
-			// client-level retries of this call dedup server-side.
-			IdempotencyKey: s.auth.Name + "/" + p.Name + "@" + ph.record.Name,
+			// One logical reservation per (coordinator, slice lifecycle,
+			// peer): retries of this call dedup server-side.
+			IdempotencyKey: fmt.Sprintf("%s/%s#%d@%s", s.auth.Name, p.Name, gen, ph.record.Name),
 			TTLSeconds:     p.TTLSeconds,
 		}, &rr)
 		if err != nil {
@@ -742,9 +767,7 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 		// Lease the whole slice for the experiment's holding time; the
 		// reaper deletes it (and releases remote slivers) at expiry.
 		expiry := s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
-		if s.leases.add(p.Name, leaseSlice, nil, expiry) {
-			s.metrics.leasesActive.Inc()
-		}
+		s.leases.add(p.Name, leaseSlice, nil, expiry)
 	}
 
 	resp := &SliceResponse{Name: p.Name, Sites: sitesGot}
@@ -764,9 +787,7 @@ func (s *Server) handleDeleteSlice(p DeleteRequest) (*Empty, error) {
 	if err := s.auth.DeleteSlice(p.Name); err != nil {
 		return nil, err
 	}
-	if s.leases.remove(p.Name) {
-		s.metrics.leasesActive.Dec()
-	}
+	s.leases.remove(p.Name)
 	s.mu.Lock()
 	remote := s.remoteRefs[p.Name]
 	delete(s.remoteRefs, p.Name)
@@ -785,6 +806,10 @@ func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
 		byPeer[sv.Authority] = append(byPeer[sv.Authority], sv)
 	}
 	cred := IssueCredential(s.secret, s.auth.Name, s.auth.Name, time.Minute)
+	// Fresh generation per invocation: retries of each Release below share
+	// a key, but a later lifecycle's release of a recreated slice name is
+	// never swallowed by this one's cached outcome.
+	gen := s.seq.Add(1)
 	for name, svs := range byPeer {
 		s.mu.Lock()
 		ph := s.peers[name]
@@ -796,7 +821,7 @@ func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
 		if err := ph.client.Call(MethodRelease, ReleaseRequest{
 			Credential: cred, SliceName: sliceName, Slivers: svs,
 			// Retries of this release must not double-free at the peer.
-			IdempotencyKey: s.auth.Name + "/" + sliceName + "@" + name + "/release",
+			IdempotencyKey: fmt.Sprintf("%s/%s#%d@%s", s.auth.Name, sliceName, gen, name),
 		}, nil); err != nil {
 			s.log.Errorf("sfa[%s]: release at %s: %v", s.auth.Name, name, err)
 		}

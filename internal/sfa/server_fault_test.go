@@ -241,6 +241,106 @@ func TestSliceTTLExpiresAcrossFederation(t *testing.T) {
 	})
 }
 
+func TestIdempotencyKeysNamespacedByMethod(t *testing.T) {
+	srv, reg, _ := leaseServer(t, 1, 1, 4)
+	c := dialServer(t, srv)
+	var rr ReserveResponse
+	if err := c.Call(MethodReserve, ReserveRequest{
+		Credential: userCred(), SliceName: "s", Sites: 1, PerSite: 2,
+		IdempotencyKey: "shared-key",
+	}, &rr); err != nil {
+		t.Fatal(err)
+	}
+	// The same key on Release must execute the release, not replay the
+	// cached reserve outcome as a silent empty success.
+	if err := c.Call(MethodRelease, ReleaseRequest{
+		Credential: userCred(), SliceName: "s", Slivers: rr.Slivers,
+		IdempotencyKey: "shared-key",
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(reg, "fedshare_sfa_dedup_replays_total", MethodRelease); got != 0 {
+		t.Errorf("release replays = %d, want 0 (keys are namespaced per method)", got)
+	}
+	if util := srv.auth.Utilization(); util != 0 {
+		t.Errorf("utilization = %g after release, want 0", util)
+	}
+}
+
+func TestLateReleaseAfterLeaseExpiryDoesNotDoubleFree(t *testing.T) {
+	srv, reg, clock := leaseServer(t, 1, 1, 4)
+	c := dialServer(t, srv)
+	// Two slices on the same node: "leased" expires via TTL, "pinned" stays.
+	var leased ReserveResponse
+	if err := c.Call(MethodReserve, ReserveRequest{
+		Credential: userCred(), SliceName: "leased", Sites: 1, PerSite: 2,
+		TTLSeconds: 5,
+	}, &leased); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call(MethodReserve, ReserveRequest{
+		Credential: userCred(), SliceName: "pinned", Sites: 1, PerSite: 2,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(6 * time.Second)
+	expired := reg.Counter("fedshare_sfa_leases_expired_total", "")
+	waitFor(t, "lease reaper", func() bool { return expired.Value() == 1 })
+	// The holder's release lands after the reaper already freed the lease:
+	// it must release nothing, or node load would be decremented twice and
+	// "pinned"'s capacity would leak to later reservations.
+	if err := c.Call(MethodRelease, ReleaseRequest{
+		Credential: userCred(), SliceName: "leased", Slivers: leased.Slivers,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if util := srv.auth.Utilization(); util != 0.5 {
+		t.Errorf("utilization = %g, want 0.5 (pinned slice intact)", util)
+	}
+}
+
+func TestSliceRecreateAfterDeleteReReservesAtPeers(t *testing.T) {
+	clock := newFakeClock()
+	reg := obs.NewRegistry()
+	servers := federate(t, map[string][3]int{
+		"PLC": {1, 1, 2}, "PLE": {2, 1, 2},
+	}, WithMetrics(reg), WithConfig(ServerConfig{
+		LeaseReapInterval: 2 * time.Millisecond, Now: clock.Now,
+	}))
+	c := dialServer(t, servers["PLC"])
+	// Two full lifecycles of the same slice name. The second CreateSlice
+	// must re-execute its reservation at the peer under a fresh idempotency
+	// generation — replaying the first lifecycle's cached response would
+	// record slivers that were never re-reserved.
+	for cycle := 0; cycle < 2; cycle++ {
+		var resp SliceResponse
+		if err := c.Call(MethodCreateSlice, SliceRequest{
+			Credential: userCred(), Name: "re", Owner: "alice", MinSites: 3,
+		}, &resp); err != nil {
+			t.Fatalf("cycle %d create: %v", cycle, err)
+		}
+		if resp.Sites < 3 {
+			t.Fatalf("cycle %d: slice spans %d sites, want >= 3", cycle, resp.Sites)
+		}
+		if util := servers["PLE"].auth.Utilization(); util == 0 {
+			t.Fatalf("cycle %d: peer utilization is 0; reservation was replayed, not executed", cycle)
+		}
+		if err := c.Call(MethodDeleteSlice, DeleteRequest{
+			Credential: userCred(), Name: "re",
+		}, nil); err != nil {
+			t.Fatalf("cycle %d delete: %v", cycle, err)
+		}
+	}
+	if got := counterValue(reg, "fedshare_sfa_dedup_replays_total", MethodReserve); got != 0 {
+		t.Errorf("reserve replays = %d, want 0 (each lifecycle keys its own reservation)", got)
+	}
+	for name, srv := range servers {
+		if util := srv.auth.Utilization(); util != 0 {
+			t.Errorf("%s utilization = %g after both lifecycles deleted, want 0", name, util)
+		}
+	}
+}
+
 func TestDrainStopsAcceptingAndFinishesCleanly(t *testing.T) {
 	srv := startServer(t, buildAuthority(t, "PLC", 1, 1, 1),
 		WithMetrics(obs.NewRegistry()),
