@@ -15,6 +15,8 @@
 //	fedsim -all -json                    # machine-readable run summary
 //	fedsim -diagram                      # the federation-model and game diagrams
 //	fedsim -weights                      # offline Shapley weight table (Sec. 3.2.3)
+//	fedsim -scenario spec.json -approx -ci-target 0.01 -seed 7
+//	                                     # force the sampling Shapley engine
 package main
 
 import (
@@ -68,6 +70,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "suppress tables and emit a JSON run summary (per-figure timings + obs metrics snapshot)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	approx := flag.Bool("approx", false, "force the sampling Shapley engine (spec method \"approx\") for spec-backed scenarios")
+	samples := flag.Int("samples", 0, "permutation-sample budget for the approximate Shapley engine (0 = spec/default)")
+	ciTarget := flag.Float64("ci-target", 0, "adaptive sampling target: 95% CI half-width as a fraction of V(N), e.g. 0.01 (0 = spec/default)")
+	seed := flag.Uint64("seed", 0, "seed for the approximate Shapley engine's deterministic sample stream (0 = spec/default)")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintln(out, "usage: fedsim [flags]")
@@ -125,6 +131,9 @@ func main() {
 	run := runConfig{
 		chart: *chart, width: *width, height: *height,
 		verbose: *verbose, jsonOut: *jsonOut,
+		approx: approxOverrides{
+			force: *approx, samples: *samples, ciTarget: *ciTarget, seed: *seed,
+		},
 	}
 	switch {
 	case *list:
@@ -181,7 +190,49 @@ type runConfig struct {
 	width, height int
 	verbose       bool
 	jsonOut       bool
+	approx        approxOverrides
 	figureSummary []figureSummary
+}
+
+// approxOverrides carries the CLI-level approximation-tier controls
+// (-approx, -samples, -ci-target, -seed). They override the matching
+// fields of whichever spec-backed scenario runs; code-backed entries
+// (which have no spec to parameterize) are run unchanged.
+type approxOverrides struct {
+	force    bool
+	samples  int
+	ciTarget float64
+	seed     uint64
+}
+
+// active reports whether any override was requested.
+func (o approxOverrides) active() bool {
+	return o.force || o.samples > 0 || o.ciTarget > 0 || o.seed != 0
+}
+
+// apply folds the overrides into a copy of the spec and re-validates, so
+// flag errors surface with the same diagnostics as spec-file errors.
+func (o approxOverrides) apply(s *scenario.Spec) (*scenario.Spec, error) {
+	if !o.active() {
+		return s, nil
+	}
+	c := *s
+	if o.force {
+		c.Method = scenario.MethodApprox
+	}
+	if o.samples > 0 {
+		c.Samples = o.samples
+	}
+	if o.ciTarget > 0 {
+		c.CITarget = o.ciTarget
+	}
+	if o.seed != 0 {
+		c.Seed = o.seed
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
 }
 
 // figureSummary is one figure's entry in the -json run summary.
@@ -202,10 +253,22 @@ type runSummary struct {
 	Metrics obs.Snapshot    `json:"metrics"`
 }
 
-// figure regenerates one registered figure.
+// figure regenerates one registered figure, honoring approximation-tier
+// overrides for spec-backed entries.
 func (rc *runConfig) figure(id string) error {
 	return rc.render("fedsim.figure", "fig", id, func() (*figures.Figure, error) {
-		return figures.ByID(id)
+		e, err := scenario.ByID(id)
+		if err != nil {
+			return nil, err
+		}
+		if e.Spec == nil || !rc.approx.active() {
+			return e.Run()
+		}
+		spec, err := rc.approx.apply(e.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return scenario.Run(spec)
 	})
 }
 
@@ -217,6 +280,10 @@ func (rc *runConfig) scenarioFile(path string) error {
 		return err
 	}
 	spec, err := scenario.ParseSpec(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	spec, err = rc.approx.apply(spec)
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}

@@ -1,0 +1,399 @@
+package coalition
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fedshare/internal/stats"
+)
+
+// The stratified-permutation Shapley sampler.
+//
+// φ_i is the expected marginal contribution of player i over a uniformly
+// random ordering (eq. (4) of the paper). One sampled ordering yields a
+// marginal for *every* player from n characteristic-function evaluations
+// (each prefix value is reused as the next marginal's base), so a
+// permutation is the natural sample unit. Three variance reductions are
+// layered on top of the plain estimator:
+//
+//   - antithetic pairing: each sampled ordering π is evaluated together
+//     with its reversal; for the monotone games the federation model
+//     produces, early and late marginals are negatively correlated, so the
+//     pair average has lower variance than two independent orderings. The
+//     pair average is treated as ONE observation, keeping the confidence
+//     intervals honest about the correlation.
+//   - first-element stratification: sampling proceeds in blocks of n
+//     antithetic pairs whose leading player cycles deterministically
+//     through the player set, so the position-0 stratum is sampled by
+//     exact proportional allocation instead of multinomially.
+//   - group pooling: interchangeable players (see ClassStructure) share
+//     one estimator; their per-ordering marginals are averaged into a
+//     single observation, dividing the sampling noise of a class of m
+//     players by up to m without biasing anyone's estimate.
+//
+// Determinism: the sampler is seed-reproducible REGARDLESS of worker
+// count. Every pair index u draws from its own RNG substream
+// (SplitMix-derived from seed and u), pairs are partitioned over a fixed
+// number of strata by u mod approxStrata — not by worker — and the
+// per-stratum summaries are merged in stratum order after the workers
+// join. The scheduling of strata onto workers therefore cannot affect a
+// single bit of the output.
+const approxStrata = 64
+
+// approxDefaultMaxSamples caps adaptive sampling when no explicit budget
+// is given.
+const approxDefaultMaxSamples = 1 << 20
+
+// ApproxOptions configures ApproxShapley.
+type ApproxOptions struct {
+	// Samples is the permutation budget. The sampler rounds it up to a
+	// whole number of first-element-balanced antithetic blocks (2n
+	// permutations per block; n with NoAntithetic). When CITarget is also
+	// set, Samples acts as the adaptive cap; 0 means
+	// approxDefaultMaxSamples.
+	Samples int
+	// CITarget, when positive, switches on adaptive mode: sampling
+	// proceeds in geometrically growing rounds until every player's 95%
+	// confidence half-width is at or below this absolute target, or the
+	// sample cap is hit.
+	CITarget float64
+	// Workers bounds the parallelism; 0 means GOMAXPROCS. The result is
+	// identical for every setting.
+	Workers int
+	// Seed selects the deterministic sample stream.
+	Seed uint64
+	// Groups, when non-nil, partitions the players into classes of
+	// interchangeable players that pool their observations (symmetric
+	// players provably have equal Shapley values). Every player must
+	// appear in exactly one group. Nil means no pooling.
+	Groups [][]int
+	// NoAntithetic disables antithetic pairing (each sample unit is a
+	// single ordering). Used by estimator-quality tests and benchmarks.
+	NoAntithetic bool
+}
+
+// ApproxResult is a sampled Shapley estimate with per-player uncertainty.
+type ApproxResult struct {
+	// Phi is the estimated Shapley value of each player.
+	Phi []float64
+	// CIHalf is the 95% confidence half-width of each player's estimate
+	// (normal approximation over sample units).
+	CIHalf []float64
+	// StdErr is the standard error of each estimate.
+	StdErr []float64
+	// Samples is the number of permutations actually evaluated.
+	Samples int
+	// Rounds is the number of adaptive rounds executed (1 in fixed-budget
+	// mode).
+	Rounds int
+	// Converged reports whether the CI target was met (true whenever no
+	// target was set).
+	Converged bool
+}
+
+// ApproxShapley estimates the Shapley value of a game of any size by
+// parallel stratified-permutation sampling with antithetic pairing. See
+// the package comment above approxStrata for the estimator design. The
+// estimate is unbiased; Σφ̂_i equals V(N) exactly (up to float rounding)
+// because every sampled ordering's marginals telescope to V(N).
+func ApproxShapley(g MemberGame, opt ApproxOptions) (*ApproxResult, error) {
+	n := g.N()
+	if n < 0 {
+		return nil, fmt.Errorf("coalition: negative player count %d", n)
+	}
+	if opt.Samples < 0 {
+		return nil, fmt.Errorf("coalition: negative sample budget %d", opt.Samples)
+	}
+	if opt.CITarget < 0 {
+		return nil, fmt.Errorf("coalition: negative CI target %g", opt.CITarget)
+	}
+	if opt.Samples == 0 && opt.CITarget == 0 {
+		return nil, fmt.Errorf("coalition: ApproxShapley needs a sample budget or a CI target")
+	}
+	if n == 0 {
+		return &ApproxResult{Rounds: 0, Converged: true}, nil
+	}
+	groups, groupOf, err := normalizeGroups(n, opt.Groups)
+	if err != nil {
+		return nil, err
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > approxStrata {
+		workers = approxStrata
+	}
+	permsPerUnit := 2
+	if opt.NoAntithetic {
+		permsPerUnit = 1
+	}
+	// Budgets in units (antithetic pairs), rounded up to whole blocks of n
+	// units so the first-element strata stay exactly balanced.
+	blockUnits := n
+	maxUnits := opt.Samples / permsPerUnit
+	if opt.Samples%permsPerUnit != 0 {
+		maxUnits++
+	}
+	if opt.CITarget > 0 && opt.Samples == 0 {
+		maxUnits = approxDefaultMaxSamples / permsPerUnit
+	}
+	maxUnits = roundUpBlocks(maxUnits, blockUnits)
+
+	eng := &approxEngine{
+		g: g, n: n, seed: opt.Seed,
+		groups: groups, groupOf: groupOf,
+		antithetic: !opt.NoAntithetic,
+		sums:       make([][]stats.Summary, approxStrata),
+	}
+	for s := range eng.sums {
+		eng.sums[s] = make([]stats.Summary, len(groups))
+	}
+
+	res := &ApproxResult{}
+	done := 0 // units completed
+	for {
+		res.Rounds++
+		target := maxUnits
+		if opt.CITarget > 0 {
+			// Adaptive rounds double the cumulative sample size: round 1
+			// draws one block, round k doubles the total so the CI check
+			// (and its two clock-free aggregation sweeps) runs O(log)
+			// times, not per block.
+			target = done * 2
+			if target < blockUnits {
+				target = blockUnits
+			}
+			target = roundUpBlocks(target, blockUnits)
+			if target > maxUnits {
+				target = maxUnits
+			}
+		}
+		eng.run(done, target, workers)
+		done = target
+		merged := eng.merged()
+		maxCI := updateResult(res, merged, groups, groupOf, n)
+		res.Samples = done * permsPerUnit
+		shapleyCIHalfWidth.Set(maxCI)
+		if opt.CITarget > 0 && maxCI <= opt.CITarget {
+			res.Converged = true
+			break
+		}
+		if done >= maxUnits {
+			res.Converged = opt.CITarget == 0
+			break
+		}
+	}
+	return res, nil
+}
+
+// roundUpBlocks rounds units up to a whole number of blocks (and at least
+// one block).
+func roundUpBlocks(units, block int) int {
+	if units < block {
+		return block
+	}
+	if rem := units % block; rem != 0 {
+		units += block - rem
+	}
+	return units
+}
+
+// normalizeGroups validates an optional player partition, defaulting to
+// singleton groups. It returns the groups and the player→group index map.
+func normalizeGroups(n int, groups [][]int) ([][]int, []int, error) {
+	if groups == nil {
+		groups = make([][]int, n)
+		for i := 0; i < n; i++ {
+			groups[i] = []int{i}
+		}
+	}
+	groupOf := make([]int, n)
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for gi, members := range groups {
+		if len(members) == 0 {
+			return nil, nil, fmt.Errorf("coalition: group %d is empty", gi)
+		}
+		for _, p := range members {
+			if p < 0 || p >= n {
+				return nil, nil, fmt.Errorf("coalition: group %d contains out-of-range player %d", gi, p)
+			}
+			if groupOf[p] != -1 {
+				return nil, nil, fmt.Errorf("coalition: player %d appears in groups %d and %d", p, groupOf[p], gi)
+			}
+			groupOf[p] = gi
+		}
+	}
+	for p, gi := range groupOf {
+		if gi == -1 {
+			return nil, nil, fmt.Errorf("coalition: player %d missing from the group partition", p)
+		}
+	}
+	return groups, groupOf, nil
+}
+
+// approxEngine carries the sampler state shared across rounds.
+type approxEngine struct {
+	g          MemberGame
+	n          int
+	seed       uint64
+	groups     [][]int
+	groupOf    []int
+	antithetic bool
+	// sums[s][g] accumulates stratum s's observations for group g. Strata
+	// are keyed by unit index (u mod approxStrata), so their contents are
+	// independent of how units are scheduled onto workers.
+	sums [][]stats.Summary
+}
+
+// run evaluates units [from, to) on the worker pool. Each stratum is one
+// job: it owns the units congruent to its index mod approxStrata and adds
+// them to its private summaries in increasing unit order.
+func (e *approxEngine) run(from, to, workers int) {
+	if to <= from {
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newApproxScratch(e.n, len(e.groups))
+			for s := range jobs {
+				u := from + (s-from%approxStrata+approxStrata)%approxStrata
+				for ; u < to; u += approxStrata {
+					e.unit(u, scratch)
+				}
+			}
+		}()
+	}
+	for s := 0; s < approxStrata; s++ {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	shapleySamplesTotal.Add(int64(to-from) * int64(e.permsPerUnit()))
+}
+
+func (e *approxEngine) permsPerUnit() int {
+	if e.antithetic {
+		return 2
+	}
+	return 1
+}
+
+// approxScratch is the per-worker reusable buffer set.
+type approxScratch struct {
+	perm []int
+	marg []float64 // pair-averaged marginal per player
+	obs  []float64 // pooled observation per group
+}
+
+func newApproxScratch(n, groups int) *approxScratch {
+	return &approxScratch{
+		perm: make([]int, n),
+		marg: make([]float64, n),
+		obs:  make([]float64, groups),
+	}
+}
+
+// unit evaluates one sample unit: a permutation with deterministically
+// forced leading player (u mod n), its antithetic reversal, and the pooled
+// per-group observation fed into the unit's stratum.
+func (e *approxEngine) unit(u int, sc *approxScratch) {
+	n := e.n
+	rng := stats.NewRand(e.seed + 0x9E3779B97F4A7C15*uint64(u+1))
+	perm := sc.perm
+	for i := range perm {
+		perm[i] = i
+	}
+	// Force the block-cycled first element, then arrange the rest
+	// uniformly: proportional allocation over the position-0 stratum.
+	first := u % n
+	perm[0], perm[first] = perm[first], perm[0]
+	rest := perm[1:]
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+
+	e.walk(perm, sc.marg, false)
+	if e.antithetic {
+		e.walk(perm, sc.marg, true)
+		for i := range sc.marg {
+			sc.marg[i] /= 2
+		}
+	}
+	for gi, members := range e.groups {
+		total := 0.0
+		for _, p := range members {
+			total += sc.marg[p]
+		}
+		sc.obs[gi] = total / float64(len(members))
+	}
+	stratum := e.sums[u%approxStrata]
+	for gi := range stratum {
+		stratum[gi].Add(sc.obs[gi])
+	}
+}
+
+// walk evaluates V along the growing prefixes of perm (reversed when rev
+// is set), writing each player's marginal contribution into marg (adding
+// when rev, so the forward and reverse passes accumulate the pair sum).
+func (e *approxEngine) walk(perm []int, marg []float64, rev bool) {
+	n := e.n
+	prev := 0.0
+	if !rev {
+		for k := 1; k <= n; k++ {
+			v := e.g.ValueMembers(perm[:k])
+			marg[perm[k-1]] = v - prev
+			prev = v
+		}
+		return
+	}
+	// The reversal is walked through the same buffer from the tail, so no
+	// second permutation buffer is needed: prefix k of reverse(perm) is
+	// the suffix perm[n-k:].
+	for k := 1; k <= n; k++ {
+		v := e.g.ValueMembers(perm[n-k:])
+		marg[perm[n-k]] += v - prev
+		prev = v
+	}
+}
+
+// merged reduces the per-stratum summaries in stratum order.
+func (e *approxEngine) merged() []stats.Summary {
+	out := make([]stats.Summary, len(e.groups))
+	for s := range e.sums {
+		for gi := range out {
+			out[gi].Merge(e.sums[s][gi])
+		}
+	}
+	return out
+}
+
+// updateResult expands per-group summaries to per-player estimates and
+// returns the largest CI half-width.
+func updateResult(res *ApproxResult, merged []stats.Summary, groups [][]int, groupOf []int, n int) float64 {
+	if res.Phi == nil {
+		res.Phi = make([]float64, n)
+		res.CIHalf = make([]float64, n)
+		res.StdErr = make([]float64, n)
+	}
+	maxCI := 0.0
+	for gi := range merged {
+		m := &merged[gi]
+		ci := m.CI95()
+		se := ci / 1.96
+		if ci > maxCI {
+			maxCI = ci
+		}
+		for _, p := range groups[gi] {
+			res.Phi[p] = m.Mean()
+			res.CIHalf[p] = ci
+			res.StdErr[p] = se
+		}
+	}
+	return maxCI
+}

@@ -18,6 +18,10 @@ var (
 	batchSeconds = obs.Default.Histogram("fedshare_coalition_batch_seconds",
 		"Durations of batched coalition-lattice sweeps over at least 2^8 coalitions.",
 		nil)
+	shapleySamplesTotal = obs.Default.Counter("fedshare_shapley_samples_total",
+		"Permutations evaluated by the sampling Shapley estimators (ApproxShapley and the parallel Monte-Carlo engine).")
+	shapleyCIHalfWidth = obs.Default.Gauge("fedshare_shapley_ci_halfwidth",
+		"Largest per-player 95% confidence half-width after the most recent ApproxShapley aggregation round.")
 )
 
 // batchTimingMinCoalitions is the smallest lattice worth timing: below

@@ -1,0 +1,95 @@
+package coalition
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fedshare/internal/combin"
+	"fedshare/internal/stats"
+)
+
+// mcStrata is the fixed stratum count of the parallel Monte-Carlo engine.
+// Samples are partitioned over strata by sample index — never by worker —
+// and stratum summaries merge in index order, so the estimate is
+// bit-identical for every worker count.
+const mcStrata = 64
+
+// MonteCarloShapleyParallel is the worker-pool form of MonteCarloShapley:
+// the sample budget is split into fixed strata, each stratum draws its
+// permutations from its own deterministic RNG substream, and the
+// per-player stats.Summary accumulators merge in stratum order. Unlike the
+// legacy wrapper it reports invalid inputs as errors, and unlike
+// ApproxShapley it keeps the plain independent-permutation estimator —
+// making it the apples-to-apples parallel twin of the single-threaded
+// oracle for estimator cross-validation.
+func MonteCarloShapleyParallel(g Game, samples, workers int, seed uint64) (MonteCarloResult, error) {
+	n := g.N()
+	if samples <= 0 {
+		return MonteCarloResult{}, fmt.Errorf("coalition: MonteCarloShapleyParallel needs samples > 0, got %d", samples)
+	}
+	if n > combin.MaxPlayers {
+		return MonteCarloResult{}, fmt.Errorf("coalition: %d players exceed the bitmask engines' %d-player bound; use ApproxShapley", n, combin.MaxPlayers)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > mcStrata {
+		workers = mcStrata
+	}
+	mg := AsMemberGame(g)
+
+	sums := make([][]stats.Summary, mcStrata)
+	for s := range sums {
+		sums[s] = make([]stats.Summary, n)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			perm := make([]int, n)
+			for s := range jobs {
+				acc := sums[s]
+				for u := s; u < samples; u += mcStrata {
+					rng := stats.NewRand(seed + 0x9E3779B97F4A7C15*uint64(u+1))
+					for i := range perm {
+						perm[i] = i
+					}
+					rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+					prev := 0.0
+					for k := 1; k <= n; k++ {
+						v := mg.ValueMembers(perm[:k])
+						acc[perm[k-1]].Add(v - prev)
+						prev = v
+					}
+				}
+			}
+		}()
+	}
+	for s := 0; s < mcStrata; s++ {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	shapleySamplesTotal.Add(int64(samples))
+
+	res := MonteCarloResult{
+		Phi:     make([]float64, n),
+		StdErr:  make([]float64, n),
+		Samples: samples,
+	}
+	for i := 0; i < n; i++ {
+		var merged stats.Summary
+		for s := 0; s < mcStrata; s++ {
+			merged.Merge(sums[s][i])
+		}
+		res.Phi[i] = merged.Mean()
+		if samples > 1 {
+			res.StdErr[i] = merged.Stddev() / math.Sqrt(float64(samples))
+		}
+	}
+	return res, nil
+}

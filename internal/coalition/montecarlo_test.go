@@ -1,0 +1,84 @@
+package coalition
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fedshare/internal/stats"
+)
+
+func TestMonteCarloShapleyParallelMatchesExact(t *testing.T) {
+	tab := randomMonotoneTable(t, 8, 31)
+	exact := BatchedValues(tab).Shapley
+	res, err := MonteCarloShapleyParallel(NewSafeCache(tab), 20000, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range exact {
+		tol := 10*res.StdErr[i] + 1e-9
+		if diff := math.Abs(res.Phi[i] - exact[i]); diff > tol {
+			t.Errorf("player %d: parallel MC %.6f vs exact %.6f (diff %.2g > tol %.2g)",
+				i, res.Phi[i], exact[i], diff, tol)
+		}
+	}
+}
+
+func TestMonteCarloShapleyParallelDeterministicAcrossWorkers(t *testing.T) {
+	tab := randomMonotoneTable(t, 10, 8)
+	var base MonteCarloResult
+	for _, workers := range []int{1, 2, 7, 64} {
+		res, err := MonteCarloShapleyParallel(tab, 1000, workers, 12345)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			base = res
+			continue
+		}
+		for i := range base.Phi {
+			if res.Phi[i] != base.Phi[i] || res.StdErr[i] != base.StdErr[i] {
+				t.Fatalf("workers=%d: player %d diverged: %v vs %v", workers, i, res.Phi[i], base.Phi[i])
+			}
+		}
+	}
+}
+
+func TestMonteCarloShapleyParallelAgreesWithSequentialOracle(t *testing.T) {
+	// Same plain estimator, independent sample streams: the two engines
+	// must agree within combined sampling error on every player.
+	tab := randomMonotoneTable(t, 9, 4)
+	par, err := MonteCarloShapleyParallel(tab, 20000, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := MonteCarloShapley(tab, 20000, stats.NewRand(8))
+	for i := range par.Phi {
+		tol := 6*(par.StdErr[i]+seq.StdErr[i]) + 1e-9
+		if diff := math.Abs(par.Phi[i] - seq.Phi[i]); diff > tol {
+			t.Errorf("player %d: parallel %.6f vs sequential %.6f (diff %.2g > tol %.2g)",
+				i, par.Phi[i], seq.Phi[i], diff, tol)
+		}
+	}
+}
+
+func TestMonteCarloShapleyParallelErrors(t *testing.T) {
+	tab := randomMonotoneTable(t, 4, 2)
+	if _, err := MonteCarloShapleyParallel(tab, 0, 1, 1); err == nil ||
+		!strings.Contains(err.Error(), "samples > 0") {
+		t.Errorf("expected samples error, got %v", err)
+	}
+	if _, err := MonteCarloShapleyParallel(tab, -5, 1, 1); err == nil {
+		t.Error("expected error for negative samples")
+	}
+}
+
+func TestMonteCarloShapleyLegacyPanics(t *testing.T) {
+	tab := randomMonotoneTable(t, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("legacy wrapper did not panic on samples <= 0")
+		}
+	}()
+	MonteCarloShapley(tab, 0, stats.NewRand(1))
+}

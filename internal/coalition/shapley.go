@@ -108,10 +108,31 @@ type MonteCarloResult struct {
 // general — this is the practical large-N fallback. Wrap expensive games
 // with SafeCache (or Cache for single-threaded use) so repeated coalition
 // visits across samples are free.
+//
+// MonteCarloShapley is the legacy wrapper and keeps the historical
+// panic-on-misuse contract; the newer estimator surface
+// (MonteCarloShapleyParallel, ApproxShapley, Values) reports invalid
+// inputs as errors instead. It remains single-threaded by design: the
+// parallel engines cross-validate against it as the independently-coded
+// oracle.
 func MonteCarloShapley(g Game, samples int, rng *stats.Rand) MonteCarloResult {
+	res, err := monteCarloShapleySeq(g, samples, rng)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// monteCarloShapleySeq is the sequential sampling loop shared by the
+// legacy wrapper, with the error-returning contract of the new API
+// surface.
+func monteCarloShapleySeq(g Game, samples int, rng *stats.Rand) (MonteCarloResult, error) {
 	n := g.N()
 	if samples <= 0 {
-		panic("coalition: MonteCarloShapley needs samples > 0")
+		return MonteCarloResult{}, fmt.Errorf("coalition: MonteCarloShapley needs samples > 0, got %d", samples)
+	}
+	if n > combin.MaxPlayers {
+		return MonteCarloResult{}, fmt.Errorf("coalition: %d players exceed the bitmask engines' %d-player bound; use ApproxShapley", n, combin.MaxPlayers)
 	}
 	sums := make([]stats.Summary, n)
 	perm := make([]int, n)
@@ -140,7 +161,7 @@ func MonteCarloShapley(g Game, samples int, rng *stats.Rand) MonteCarloResult {
 			res.StdErr[i] = sums[i].Stddev() / math.Sqrt(float64(samples))
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Banzhaf computes the (non-normalized) Banzhaf value

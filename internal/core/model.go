@@ -93,13 +93,20 @@ type Model struct {
 	reqs  atomic.Pointer[[]allocation.Request]
 }
 
+// MaxFacilities bounds federation size. The bitmask-based exact engines
+// stop at combin.MaxPlayers (64); beyond that every computation runs
+// through the member-list tier (ValueMembers, coalition.Values), which has
+// no representational limit — the bound exists only to catch absurd
+// configurations early.
+const MaxFacilities = 4096
+
 // NewModel validates and builds a federation model.
 func NewModel(facilities []Facility, demand *economics.Workload) (*Model, error) {
 	if len(facilities) == 0 {
 		return nil, fmt.Errorf("core: federation needs at least one facility")
 	}
-	if len(facilities) > combin.MaxPlayers {
-		return nil, fmt.Errorf("core: at most %d facilities supported", combin.MaxPlayers)
+	if len(facilities) > MaxFacilities {
+		return nil, fmt.Errorf("core: at most %d facilities supported", MaxFacilities)
 	}
 	for _, f := range facilities {
 		if err := f.Validate(); err != nil {
@@ -118,6 +125,10 @@ func NewModel(facilities []Facility, demand *economics.Workload) (*Model, error)
 // (independent placement, as the paper suggests for simplicity). It returns
 // the model for chaining and is deterministic given the rng.
 func (m *Model) WithOverlap(universe int, rng *stats.Rand) (*Model, error) {
+	if m.N() > combin.MaxPlayers {
+		return nil, fmt.Errorf("core: overlap models are limited to %d facilities (the coalition bitmask bound); have %d",
+			combin.MaxPlayers, m.N())
+	}
 	for _, f := range m.Facilities {
 		if f.Locations > universe {
 			return nil, fmt.Errorf("core: facility %s has %d locations, universe only %d",
@@ -295,6 +306,116 @@ func (m *Model) Value(s combin.Set) float64 {
 // classScratchPool recycles the per-coalition class slices Value builds.
 var classScratchPool = sync.Pool{New: func() any { return new([]allocation.Class) }}
 
+// ValueMembers is the characteristic function over an explicit member list
+// — the large-n tier of the federation game (coalition.MemberGame). It is
+// exactly Value(S) for the coalition S listing the given facilities, but
+// free of the 64-facility bitmask bound; the sampling Shapley engines walk
+// permutation prefixes through it. Disjoint-coverage models build the pool
+// straight from the member list (the allocation memo's canonical class
+// ordering makes the result independent of member order); overlap models —
+// which NewModel and WithOverlap keep within the bitmask bound — route
+// through Value.
+func (m *Model) ValueMembers(members []int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	if m.Overlap != nil {
+		var s combin.Set
+		for _, i := range members {
+			s = s.With(i)
+		}
+		return m.Value(s)
+	}
+	scratch := classScratchPool.Get().(*[]allocation.Class)
+	classes := (*scratch)[:0]
+	for _, i := range members {
+		f := &m.Facilities[i]
+		if f.Locations == 0 {
+			continue
+		}
+		classes = append(classes, allocation.Class{
+			Label:    f.Name,
+			Count:    f.Locations,
+			Capacity: f.EffectiveCapacity(),
+		})
+	}
+	res := allocation.SolveCached(allocation.Pool{Classes: classes}, m.requests())
+	*scratch = classes
+	classScratchPool.Put(scratch)
+	return m.muFactor() * res.Utility
+}
+
+// classSignature is the interchangeability key of a facility: two
+// facilities with equal signatures contribute identically to every
+// coalition value, so they are symmetric players of the federation game.
+// Name and Users are deliberately excluded — the unweighted game's V(S)
+// never reads them.
+type classSignature struct {
+	locations    int
+	resources    float64
+	availability float64
+	cost         economics.Cost
+}
+
+// ClassStructure detects the model's interchangeable-facility structure for
+// the symmetry-collapsing Shapley engines (coalition.ClassStructured). It
+// returns nil for overlap models: there, facilities with equal parameters
+// still cover different concrete locations, so they are not symmetric. The
+// collapsed characteristic function builds one pool class per facility
+// replica — the same classes Value builds — so collapsed and direct solves
+// share the allocation memo's canonical entries bit-for-bit.
+func (m *Model) ClassStructure() *coalition.ClassStructure {
+	if m.Overlap != nil {
+		return nil
+	}
+	classIdx := map[classSignature]int{}
+	classOf := make([]int, m.N())
+	var mult []int
+	var reps []int // representative facility per class
+	for i, f := range m.Facilities {
+		sig := classSignature{
+			locations:    f.Locations,
+			resources:    f.Resources,
+			availability: f.availability(),
+			cost:         f.Cost,
+		}
+		j, ok := classIdx[sig]
+		if !ok {
+			j = len(mult)
+			classIdx[sig] = j
+			mult = append(mult, 0)
+			reps = append(reps, i)
+		}
+		classOf[i] = j
+		mult[j]++
+	}
+	return &coalition.ClassStructure{
+		Mult:    mult,
+		ClassOf: classOf,
+		Value: func(counts []int) float64 {
+			scratch := classScratchPool.Get().(*[]allocation.Class)
+			classes := (*scratch)[:0]
+			for j, c := range counts {
+				f := &m.Facilities[reps[j]]
+				if f.Locations == 0 {
+					continue
+				}
+				for r := 0; r < c; r++ {
+					classes = append(classes, allocation.Class{
+						Label:    f.Name,
+						Count:    f.Locations,
+						Capacity: f.EffectiveCapacity(),
+					})
+				}
+			}
+			res := allocation.SolveCached(allocation.Pool{Classes: classes}, m.requests())
+			*scratch = classes
+			classScratchPool.Put(scratch)
+			return m.muFactor() * res.Utility
+		},
+	}
+}
+
 // solve runs the allocation engine for a coalition pool. Disjoint-coverage
 // models (every numerical figure) go through the process-wide aggregate-
 // keyed memo: their V(S) depends only on the class multiset plus the
@@ -317,6 +438,10 @@ func (m *Model) solve(pool allocation.Pool) *allocation.Result {
 // mutex-guarded, so concurrent sweep workers sharing a model cannot race
 // to build it.
 func (m *Model) Game() *coalition.SafeCache {
+	if m.N() > combin.MaxPlayers {
+		panic(fmt.Sprintf("core: the bitmask game is limited to %d facilities, have %d; use ValueMembers/coalition.Values",
+			combin.MaxPlayers, m.N()))
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.game == nil {
@@ -332,6 +457,9 @@ func (m *Model) Game() *coalition.SafeCache {
 // skips a SafeCache allocation and a mutex acquisition per coalition. It
 // errors for models too large to snapshot; use Game() then.
 func (m *Model) Table() (*coalition.Table, error) {
+	if m.N() > combin.MaxPlayers {
+		return nil, fmt.Errorf("core: %d facilities exceed the %d-player snapshot bound", m.N(), combin.MaxPlayers)
+	}
 	// Warm the request cache first: Value calls requests(), whose slow
 	// path takes m.mu, and the snapshot below runs with m.mu held.
 	m.requests()
@@ -351,19 +479,29 @@ func (m *Model) Table() (*coalition.Table, error) {
 // materialized and otherwise evaluates through the lazy game cache, so
 // callers needing only V(N) never pay for a full snapshot.
 func (m *Model) GrandValue() float64 {
+	n := m.N()
+	if n > combin.MaxPlayers {
+		// Beyond the bitmask bound: one member-list evaluation (the
+		// allocation memo caches the repeat calls).
+		members := make([]int, n)
+		for i := range members {
+			members[i] = i
+		}
+		return m.ValueMembers(members)
+	}
 	m.mu.Lock()
 	t := m.table
 	m.mu.Unlock()
 	if t != nil {
-		return t.Value(combin.Full(m.N()))
+		return t.Value(combin.Full(n))
 	}
-	return m.Game().Value(combin.Full(m.N()))
+	return m.Game().Value(combin.Full(n))
 }
 
 // ConsumptionByFacility solves the grand-coalition allocation and attributes
 // consumed resource units to facilities (the numerator of ρ̂, eq. (7)).
 func (m *Model) ConsumptionByFacility() []float64 {
-	p := m.poolFor(combin.Full(m.N()))
+	p := m.grandPool()
 	res := m.solve(p.pool)
 	out := make([]float64, m.N())
 	for c, consumed := range res.ConsumedByClass {
@@ -372,6 +510,28 @@ func (m *Model) ConsumptionByFacility() []float64 {
 		}
 	}
 	return out
+}
+
+// grandPool builds the grand coalition's pooling. Disjoint models beyond
+// the bitmask bound assemble it directly from the facility list; everything
+// else goes through poolFor.
+func (m *Model) grandPool() pooling {
+	if m.Overlap != nil || m.N() <= combin.MaxPlayers {
+		return m.poolFor(combin.Full(m.N()))
+	}
+	var p pooling
+	for i, f := range m.Facilities {
+		if f.Locations == 0 {
+			continue
+		}
+		p.pool.Classes = append(p.pool.Classes, allocation.Class{
+			Label:    f.Name,
+			Count:    f.Locations,
+			Capacity: f.EffectiveCapacity(),
+		})
+		p.owners = append(p.owners, []ownerWeight{{facility: i, frac: 1}})
+	}
+	return p
 }
 
 // Invalidate drops the memoized game and request expansion (call after

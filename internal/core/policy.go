@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"fedshare/internal/coalition"
@@ -37,12 +38,99 @@ func (ShapleyPolicy) Name() string { return "shapley" }
 func (p ShapleyPolicy) Shares(m *Model) ([]float64, error) {
 	// Snapshot-eligible models (every paper figure) go through the dense
 	// table: the batched kernel reads it directly, with no per-coalition
-	// cache locking. Larger models fall back to the lazy game cache.
+	// cache locking. Larger models auto-dispatch through the approximation
+	// tier: exact on the collapsed class lattice when the facility mix
+	// allows, sampled otherwise.
 	if t, err := m.Table(); err == nil {
 		return coalition.Normalize(t, coalition.ParallelShapley(t, p.Workers)), nil
 	}
-	g := m.Game()
-	return coalition.Normalize(g, coalition.ParallelShapley(g, p.Workers)), nil
+	res, err := coalition.Values(m, coalition.Options{Workers: p.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return normalizeByGrand(m, res.Phi), nil
+}
+
+// normalizeByGrand converts absolute shares to the normalized ŝ vector
+// without touching the bitmask game interface (valid at any n).
+func normalizeByGrand(m *Model, phi []float64) []float64 {
+	vn := m.GrandValue()
+	out := make([]float64, len(phi))
+	if math.Abs(vn) < 1e-12 {
+		return out
+	}
+	for i, p := range phi {
+		out[i] = p / vn
+	}
+	return out
+}
+
+// ApproxShapleyPolicy is the approximation tier as a sharing policy: shares
+// come from coalition.Values with sampling enabled, composing symmetry
+// collapse (interchangeable facilities detected via Model.ClassStructure)
+// with the stratified antithetic permutation sampler. It is the intended
+// rule for federations of hundreds of facilities, and is exact whenever the
+// collapsed class lattice is small enough.
+type ApproxShapleyPolicy struct {
+	// Samples is the permutation budget (0: the dispatcher default, or
+	// adaptive-only when CITarget is set).
+	Samples int
+	// CITarget, when positive, requests adaptive sampling until every
+	// facility's 95% CI half-width is at or below CITarget·V(N) — relative
+	// precision, converted to the engines' absolute target here.
+	CITarget float64
+	// Seed selects the deterministic sample stream.
+	Seed uint64
+	// Workers bounds parallelism; 0 means GOMAXPROCS. The estimate is
+	// identical for every setting.
+	Workers int
+	// Method overrides engine selection; empty means coalition.MethodAuto
+	// (exact when feasible). coalition.MethodApprox forces the sampling
+	// estimator — what scenario specs with "method": "approx" request.
+	Method coalition.Method
+}
+
+// Name implements Policy.
+func (ApproxShapleyPolicy) Name() string { return "shapley-approx" }
+
+// Shares implements Policy.
+func (p ApproxShapleyPolicy) Shares(m *Model) ([]float64, error) {
+	res, err := p.Result(m)
+	if err != nil {
+		return nil, err
+	}
+	return normalizeByGrand(m, res.Phi), nil
+}
+
+// Result exposes the full engine outcome — estimates, confidence
+// half-widths, engine name — for callers that report uncertainty (fedsim,
+// the approx figure) rather than bare shares.
+func (p ApproxShapleyPolicy) Result(m *Model) (*coalition.ValueResult, error) {
+	// Default to MethodAuto, not MethodApprox: when the model's class
+	// lattice (or the full coalition lattice) is small enough for an exact
+	// engine, asking for the approximation tier should return the exact
+	// answer rather than a noisier estimate of it.
+	method := p.Method
+	if method == "" {
+		method = coalition.MethodAuto
+	}
+	opt := coalition.Options{
+		Method:  method,
+		Workers: p.Workers,
+		Samples: p.Samples,
+		Seed:    p.Seed,
+	}
+	if p.CITarget < 0 {
+		return nil, fmt.Errorf("core: negative CI target %g", p.CITarget)
+	}
+	if p.CITarget > 0 {
+		vn := m.GrandValue()
+		if vn <= 0 {
+			return nil, fmt.Errorf("core: relative CI target needs V(N) > 0, have %g", vn)
+		}
+		opt.CITarget = p.CITarget * vn
+	}
+	return coalition.Values(m, opt)
 }
 
 // MonteCarloShapleyPolicy estimates φ̂ by sampling orderings — the practical
@@ -57,6 +145,9 @@ func (MonteCarloShapleyPolicy) Name() string { return "shapley-mc" }
 
 // Shares implements Policy.
 func (p MonteCarloShapleyPolicy) Shares(m *Model) ([]float64, error) {
+	if err := requireBitmaskGame(m, "shapley-mc", "shapley-approx"); err != nil {
+		return nil, err
+	}
 	samples := p.Samples
 	if samples <= 0 {
 		samples = 2000
@@ -64,6 +155,16 @@ func (p MonteCarloShapleyPolicy) Shares(m *Model) ([]float64, error) {
 	g := m.Game()
 	res := coalition.MonteCarloShapley(g, samples, stats.NewRand(p.Seed))
 	return coalition.Normalize(g, res.Phi), nil
+}
+
+// requireBitmaskGame rejects models beyond the 64-facility bitmask bound
+// with a pointer at the policy that does scale.
+func requireBitmaskGame(m *Model, name, instead string) error {
+	if m.N() > combin.MaxPlayers {
+		return fmt.Errorf("core: policy %s is limited to %d facilities, have %d; use %s",
+			name, combin.MaxPlayers, m.N(), instead)
+	}
+	return nil
 }
 
 // ProportionalPolicy is the availability-proportional rule π̂ (eq. (6)):
@@ -139,6 +240,9 @@ func (NucleolusPolicy) Name() string { return "nucleolus" }
 
 // Shares implements Policy.
 func (NucleolusPolicy) Shares(m *Model) ([]float64, error) {
+	if err := requireBitmaskGame(m, "nucleolus", "shapley-approx"); err != nil {
+		return nil, err
+	}
 	g := m.Game()
 	nuc, err := coalition.Nucleolus(g)
 	if err != nil {
@@ -156,6 +260,9 @@ func (BanzhafPolicy) Name() string { return "banzhaf" }
 
 // Shares implements Policy.
 func (BanzhafPolicy) Shares(m *Model) ([]float64, error) {
+	if err := requireBitmaskGame(m, "banzhaf", "shapley-approx"); err != nil {
+		return nil, err
+	}
 	g := m.Game()
 	var beta []float64
 	if b, err := coalition.ParallelBatched(g, 0); err == nil {
@@ -180,7 +287,7 @@ func (BanzhafPolicy) Shares(m *Model) ([]float64, error) {
 // PolicyNames lists the names PolicyByName resolves, in presentation
 // order.
 func PolicyNames() []string {
-	return []string{"shapley", "proportional", "consumption", "equal", "nucleolus", "banzhaf", "shapley-users"}
+	return []string{"shapley", "shapley-approx", "proportional", "consumption", "equal", "nucleolus", "banzhaf", "shapley-users"}
 }
 
 // PolicyByName resolves a deterministic sharing policy by its registered
@@ -191,6 +298,8 @@ func PolicyByName(name string) (Policy, error) {
 	switch name {
 	case "", "shapley":
 		return ShapleyPolicy{}, nil
+	case "shapley-approx":
+		return ApproxShapleyPolicy{}, nil
 	case "proportional":
 		return ProportionalPolicy{}, nil
 	case "consumption":
@@ -237,6 +346,9 @@ type Report struct {
 // Analyze builds a full report. Policies failing to compute are reported
 // with a nil share vector rather than failing the whole report.
 func Analyze(m *Model, policies ...Policy) (*Report, error) {
+	if err := requireBitmaskGame(m, "analyze (full coalition enumeration)", "shapley-approx for shares"); err != nil {
+		return nil, err
+	}
 	if len(policies) == 0 {
 		policies = []Policy{ShapleyPolicy{}, ProportionalPolicy{}, ConsumptionPolicy{}, EqualPolicy{}}
 	}
@@ -324,6 +436,9 @@ func (UserWeightedShapleyPolicy) Name() string { return "shapley-users" }
 
 // Shares implements Policy.
 func (UserWeightedShapleyPolicy) Shares(m *Model) ([]float64, error) {
+	if err := requireBitmaskGame(m, "shapley-users", "shapley-approx"); err != nil {
+		return nil, err
+	}
 	w := make([]float64, m.N())
 	for i, f := range m.Facilities {
 		if f.Users > 0 {

@@ -61,10 +61,10 @@ func fig2Spec() *scenario.Spec {
 // strict selects the boundary convention (see EXPERIMENTS.md).
 func fig4Spec(id string, strict bool) *scenario.Spec {
 	return &scenario.Spec{
-		ID:     id,
-		Title:  "Profit shares with respect to l",
-		XLabel: "l",
-		Notes:  "Staircase drops at l = 100, 400, 500, 800, 900, 1200; equal shares in (1200, 1300]; zero beyond 1300.",
+		ID:         id,
+		Title:      "Profit shares with respect to l",
+		XLabel:     "l",
+		Notes:      "Staircase drops at l = 100, 400, 500, 800, 900, 1200; equal shares in (1200, 1300]; zero beyond 1300.",
 		Facilities: paperFacilities([3]float64{1, 1, 1}),
 		Demand: []scenario.DemandSpec{
 			{Name: "single", Count: 1, Shape: 1, Strict: strict},
@@ -78,10 +78,10 @@ func fig4Spec(id string, strict bool) *scenario.Spec {
 // l = 600.
 func fig5Spec() *scenario.Spec {
 	return &scenario.Spec{
-		ID:     "fig5",
-		Title:  "Profit shares with respect to d (l = 600)",
-		XLabel: "d",
-		Notes:  "As d grows the game turns convex and φ̂ approaches π̂.",
+		ID:         "fig5",
+		Title:      "Profit shares with respect to d (l = 600)",
+		XLabel:     "d",
+		Notes:      "As d grows the game turns convex and φ̂ approaches π̂.",
 		Facilities: paperFacilities([3]float64{1, 1, 1}),
 		Demand: []scenario.DemandSpec{
 			{Name: "single", Count: 1, MinLocations: 600, Shape: 1},
@@ -95,10 +95,10 @@ func fig5Spec() *scenario.Spec {
 // so that all L_i·R_i are equal, demand filling capacity.
 func fig6Spec() *scenario.Spec {
 	return &scenario.Spec{
-		ID:     "fig6",
-		Title:  "Profit shares with respect to l, equal L_i*R_i",
-		XLabel: "l",
-		Notes:  "K = 100 identical experiments (saturation at m = 80). Equal totals, very different Shapley shares once l > 0.",
+		ID:         "fig6",
+		Title:      "Profit shares with respect to l, equal L_i*R_i",
+		XLabel:     "l",
+		Notes:      "K = 100 identical experiments (saturation at m = 80). Equal totals, very different Shapley shares once l > 0.",
 		Facilities: paperFacilities([3]float64{80, 20, 10}),
 		Demand: []scenario.DemandSpec{
 			{Name: "batch", Count: Fig6DemandK, Shape: 1},
@@ -112,10 +112,10 @@ func fig6Spec() *scenario.Spec {
 // type-2 (l = 700) experiments, R = (80, 50, 30).
 func fig7Spec() *scenario.Spec {
 	return &scenario.Spec{
-		ID:     "fig7",
-		Title:  "Profit shares with respect to the experiment mixture σ",
-		XLabel: "sigma",
-		Notes:  "K = 40 experiments, fraction σ of type l=700. More diversity-hungry demand pushes φ̂ away from π̂.",
+		ID:         "fig7",
+		Title:      "Profit shares with respect to the experiment mixture σ",
+		XLabel:     "sigma",
+		Notes:      "K = 40 experiments, fraction σ of type l=700. More diversity-hungry demand pushes φ̂ away from π̂.",
 		Facilities: paperFacilities([3]float64{80, 50, 30}),
 		Demand: []scenario.DemandSpec{
 			{Name: "flexible", Count: Fig7DemandK, Shape: 1},
@@ -133,10 +133,10 @@ func fig7Spec() *scenario.Spec {
 // including the consumption-proportional ρ̂.
 func fig8Spec() *scenario.Spec {
 	return &scenario.Spec{
-		ID:     "fig8",
-		Title:  "Profit shares with respect to demand volume K (l = 250)",
-		XLabel: "K",
-		Notes:  "π̂ is demand-independent; ρ̂ starts at the diversity profile L_i/ΣL and drifts toward capacity shares as locations saturate.",
+		ID:         "fig8",
+		Title:      "Profit shares with respect to demand volume K (l = 250)",
+		XLabel:     "K",
+		Notes:      "π̂ is demand-independent; ρ̂ starts at the diversity profile L_i/ΣL and drifts toward capacity shares as locations saturate.",
 		Facilities: paperFacilities([3]float64{80, 60, 20}),
 		Demand: []scenario.DemandSpec{
 			{Name: "batch", Count: 0, MinLocations: 250, Shape: 1},
@@ -157,11 +157,11 @@ func fig9Spec() *scenario.Spec {
 		})
 	}
 	return &scenario.Spec{
-		ID:     "fig9",
-		Title:  "Profit of facility 1 with respect to L1",
-		XLabel: "L1",
-		Notes:  "K = 100 experiments (demand exceeds capacity). Shapley profit jumps at coalition-feasibility thresholds; proportional grows smoothly.",
-		Kind:   scenario.KindProfit,
+		ID:         "fig9",
+		Title:      "Profit of facility 1 with respect to L1",
+		XLabel:     "L1",
+		Notes:      "K = 100 experiments (demand exceeds capacity). Shapley profit jumps at coalition-feasibility thresholds; proportional grows smoothly.",
+		Kind:       scenario.KindProfit,
 		Facilities: paperFacilities([3]float64{80, 60, 20}),
 		Demand: []scenario.DemandSpec{
 			{Name: "batch", Count: Fig9DemandK, Shape: 1},
@@ -170,6 +170,35 @@ func fig9Spec() *scenario.Spec {
 		Axis:     scenario.AxisSpec{Variable: scenario.VarLocations, Target: "F1", From: 0, To: 1000, Step: 50},
 		Track:    "F1",
 		Variants: variants,
+	}
+}
+
+// figApproxSpec (extension): the approximation tier at federation scale. A
+// 100-facility federation declared from four facility templates sweeps the
+// diversity threshold; shares come from the forced sampling estimator
+// (symmetry-collapsed, seeded, CI-targeted) next to the proportional rule.
+// Each template contributes one mean-share curve, so the figure reads like
+// the paper's 3-facility share plots at 30× the federation size.
+func figApproxSpec() *scenario.Spec {
+	return &scenario.Spec{
+		ID:     "fig-approx",
+		Title:  "Profit shares of a 100-facility federation with respect to l (approximate Shapley, extension)",
+		XLabel: "l",
+		Notes:  "4 facility templates × {40,30,20,10} replicas; sampled Shapley with symmetry collapse, seed 42, adaptive to 1% CI. Curves are per-template mean shares.",
+		Facilities: []scenario.FacilitySpec{
+			{Name: "S", Locations: 20, Resources: 1, Count: 40},
+			{Name: "M", Locations: 50, Resources: 1, Count: 30},
+			{Name: "L", Locations: 100, Resources: 2, Count: 20},
+			{Name: "XL", Locations: 200, Resources: 2, Count: 10},
+		},
+		Demand: []scenario.DemandSpec{
+			{Name: "batch", Count: 100, Shape: 1},
+		},
+		Policies: []string{"shapley-approx", "proportional"},
+		Axis:     scenario.AxisSpec{Variable: scenario.VarThreshold, Values: []float64{0, 1000, 2000, 3000}},
+		Method:   scenario.MethodApprox,
+		CITarget: 0.01,
+		Seed:     42,
 	}
 }
 
@@ -204,6 +233,11 @@ func init() {
 		ID:        "fig-market",
 		Title:     "Shapley vs combinatorial-auction shares with respect to l (extension)",
 		Generate:  FigMarket,
+		Extension: true,
+	})
+	scenario.MustRegister(scenario.Entry{
+		ID:        "fig-approx",
+		Spec:      figApproxSpec(),
 		Extension: true,
 	})
 }

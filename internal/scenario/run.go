@@ -38,13 +38,14 @@ func (r *Result) Table() string {
 // policySymbol maps policy names to the per-facility series symbols the
 // paper uses (φ̂, π̂, ρ̂, ...). Unknown policies fall back to their name.
 var policySymbol = map[string]string{
-	"shapley":       "phi",
-	"proportional":  "pi",
-	"consumption":   "rho",
-	"equal":         "eq",
-	"nucleolus":     "nu",
-	"banzhaf":       "beta",
-	"shapley-users": "uphi",
+	"shapley":        "phi",
+	"shapley-approx": "aphi",
+	"proportional":   "pi",
+	"consumption":    "rho",
+	"equal":          "eq",
+	"nucleolus":      "nu",
+	"banzhaf":        "beta",
+	"shapley-users":  "uphi",
 }
 
 // symbolFor returns the series symbol for a policy name.
@@ -102,13 +103,17 @@ func (s *Spec) runUtility(res *Result, xs []float64) error {
 
 // runShares evaluates every policy's share vector at each sweep point and
 // emits policy-major series: all of policy 1's facilities, then policy
-// 2's, ... with names <symbol><facility index>.
+// 2's, ... with names <symbol><facility index>. A templated facility entry
+// (Count > 1) contributes one series holding the mean share of its
+// replicas, so the series layout depends only on the spec's entry list —
+// a 200-facility federation declared from 4 templates plots 4 curves per
+// policy.
 func (s *Spec) runShares(res *Result, xs []float64) error {
 	policies, err := s.resolvedPolicies()
 	if err != nil {
 		return err
 	}
-	n := len(s.Facilities)
+	groups := s.facilityGroups()
 	pts, err := sweep.RunErr(len(xs), 0, func(k int) ([][]float64, error) {
 		at, err := s.at(xs[k])
 		if err != nil {
@@ -125,7 +130,15 @@ func (s *Spec) runShares(res *Result, xs []float64) error {
 				return nil, fmt.Errorf("scenario %s: %s policy at %s=%g: %w",
 					s.ID, p.Name(), s.Axis.Variable, xs[k], err)
 			}
-			out[pi] = shares
+			grouped := make([]float64, len(groups))
+			for gi, members := range groups {
+				total := 0.0
+				for _, fi := range members {
+					total += shares[fi]
+				}
+				grouped[gi] = total / float64(len(members))
+			}
+			out[pi] = grouped
 		}
 		return out, nil
 	})
@@ -135,7 +148,7 @@ func (s *Spec) runShares(res *Result, xs []float64) error {
 	pointsTotal.With(s.ID).Add(int64(len(xs)))
 	for pi, p := range policies {
 		sym := symbolFor(p.Name())
-		for i := 0; i < n; i++ {
+		for i := range groups {
 			ser := stats.Series{Name: sym + strconv.Itoa(i+1)}
 			for k, x := range xs {
 				ser.Add(x, pts[k][pi][i])

@@ -14,8 +14,17 @@ import (
 	"math"
 	"strings"
 
+	"fedshare/internal/coalition"
 	"fedshare/internal/core"
 	"fedshare/internal/economics"
+)
+
+// Shapley engine selection for the shapley policies of a spec (the
+// "method" field), mirroring coalition.Method.
+const (
+	MethodAuto   = "auto"
+	MethodExact  = "exact"
+	MethodApprox = "approx"
 )
 
 // Scenario kinds: what a sweep point records.
@@ -55,7 +64,11 @@ const (
 	VarX = "x"
 )
 
-// FacilitySpec declares one resource provider.
+// FacilitySpec declares one resource provider — or, with Count > 1, a
+// template stamped into Count identical facilities (named Name-1..Name-k).
+// Replicated facilities are interchangeable players, which the symmetry-
+// collapsing Shapley engines exploit; large-federation scenarios declare
+// hundreds of facilities in a few template lines.
 type FacilitySpec struct {
 	Name      string  `json:"name"`
 	Locations int     `json:"locations"`
@@ -64,6 +77,16 @@ type FacilitySpec struct {
 	Availability float64 `json:"availability,omitempty"`
 	// Users is the affiliated-user population (shapley-users policy).
 	Users int `json:"users,omitempty"`
+	// Count replicates the facility; 0 means 1.
+	Count int `json:"count,omitempty"`
+}
+
+// count returns the effective replica count.
+func (f FacilitySpec) count() int {
+	if f.Count <= 0 {
+		return 1
+	}
+	return f.Count
 }
 
 // facility converts the spec entry to the core model type.
@@ -202,6 +225,18 @@ type Spec struct {
 	// records; empty means the first facility.
 	Track    string        `json:"track,omitempty"`
 	Variants []VariantSpec `json:"variants,omitempty"`
+	// Method selects the Shapley engine family for the shapley policies:
+	// "auto" (empty; exact when feasible, sampled otherwise), "exact", or
+	// "approx" (the approximation tier, configured by samples/ci_target/
+	// seed below).
+	Method string `json:"method,omitempty"`
+	// Samples is the sampling permutation budget for the approx engines.
+	Samples int `json:"samples,omitempty"`
+	// CITarget requests adaptive sampling until every facility's 95% CI
+	// half-width falls below CITarget·V(N) (relative; e.g. 0.01 = 1%).
+	CITarget float64 `json:"ci_target,omitempty"`
+	// Seed selects the deterministic sample stream of the approx engines.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 // kind returns the effective scenario kind.
@@ -307,12 +342,41 @@ func (s *Spec) at(x float64) (*Spec, error) {
 	return c, nil
 }
 
+// expandedFacilities stamps the facility templates into the concrete
+// facility list (Count replicas per entry, named Name-1..Name-k when
+// replicated).
+func (s *Spec) expandedFacilities() []core.Facility {
+	var out []core.Facility
+	for _, f := range s.Facilities {
+		c := f.count()
+		for r := 0; r < c; r++ {
+			fac := f.facility()
+			if c > 1 {
+				fac.Name = fmt.Sprintf("%s-%d", f.Name, r+1)
+			}
+			out = append(out, fac)
+		}
+	}
+	return out
+}
+
+// facilityGroups maps each spec entry to its replica indices in the
+// expanded facility list.
+func (s *Spec) facilityGroups() [][]int {
+	groups := make([][]int, len(s.Facilities))
+	idx := 0
+	for i, f := range s.Facilities {
+		for r := 0; r < f.count(); r++ {
+			groups[i] = append(groups[i], idx)
+			idx++
+		}
+	}
+	return groups
+}
+
 // Model builds the federation game instance the spec declares.
 func (s *Spec) Model() (*core.Model, error) {
-	facilities := make([]core.Facility, len(s.Facilities))
-	for i, f := range s.Facilities {
-		facilities[i] = f.facility()
-	}
+	facilities := s.expandedFacilities()
 	classes := make([]economics.DemandClass, len(s.Demand))
 	for i, d := range s.Demand {
 		classes[i] = economics.DemandClass{Type: d.experimentType(), Count: d.Count}
@@ -329,15 +393,15 @@ func (s *Spec) Model() (*core.Model, error) {
 	return m, nil
 }
 
-// trackIndex resolves the profit-kind tracked facility.
+// trackIndex resolves the profit-kind tracked facility to its index in the
+// expanded facility list (the first replica when the entry is a template).
 func (s *Spec) trackIndex() (int, error) {
-	if s.Track == "" {
-		return 0, nil
-	}
-	for i, f := range s.Facilities {
-		if f.Name == s.Track {
-			return i, nil
+	idx := 0
+	for _, f := range s.Facilities {
+		if s.Track == "" || f.Name == s.Track {
+			return idx, nil
 		}
+		idx += f.count()
 	}
 	return 0, fmt.Errorf("scenario %s: track names unknown facility %q", s.ID, s.Track)
 }
@@ -355,9 +419,32 @@ func (s *Spec) resolvedPolicies() ([]core.Policy, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", s.ID, err)
 		}
-		out[i] = p
+		out[i] = s.parameterize(name, p)
 	}
 	return out, nil
+}
+
+// parameterize routes the Shapley policies through the approximation tier
+// when the spec requests it: the "shapley-approx" policy always takes the
+// spec's sampling parameters, and "method": "approx" additionally rewires
+// the plain "shapley" entries (so a spec flips its existing policy list to
+// sampling by adding one field).
+func (s *Spec) parameterize(name string, p core.Policy) core.Policy {
+	approx := core.ApproxShapleyPolicy{Samples: s.Samples, CITarget: s.CITarget, Seed: s.Seed}
+	if s.Method == MethodApprox {
+		// An explicit method request forces the sampling estimator (still
+		// composed with symmetry collapse) instead of auto-dispatch.
+		approx.Method = coalition.MethodApprox
+	}
+	switch name {
+	case "shapley-approx":
+		return approx
+	case "", "shapley":
+		if s.Method == MethodApprox {
+			return approx
+		}
+	}
+	return p
 }
 
 // sweepVariables lists what a model-backed axis or variant may set.
@@ -379,6 +466,17 @@ func (s *Spec) Validate() error {
 	}
 	if _, err := s.Axis.grid(); err != nil {
 		return fmt.Errorf("scenario %s: %w", s.ID, err)
+	}
+	switch s.Method {
+	case "", MethodAuto, MethodExact, MethodApprox:
+	default:
+		return fmt.Errorf("scenario %s: unknown method %q (have auto, exact, approx)", s.ID, s.Method)
+	}
+	if s.Samples < 0 {
+		return fmt.Errorf("scenario %s: negative sample budget %d", s.ID, s.Samples)
+	}
+	if s.CITarget < 0 || s.CITarget >= 1 {
+		return fmt.Errorf("scenario %s: ci_target %g outside [0, 1) (it is relative to V(N))", s.ID, s.CITarget)
 	}
 	for i, d := range s.Demand {
 		if d.Name == "" {
@@ -418,6 +516,9 @@ func (s *Spec) Validate() error {
 	for i, f := range s.Facilities {
 		if f.Name == "" {
 			return fmt.Errorf("scenario %s: facility %d has no name", s.ID, i)
+		}
+		if f.Count < 0 {
+			return fmt.Errorf("scenario %s: facility %s has negative count %d", s.ID, f.Name, f.Count)
 		}
 		if err := f.facility().Validate(); err != nil {
 			return fmt.Errorf("scenario %s: %w", s.ID, err)

@@ -183,7 +183,7 @@ func TestAxisGrid(t *testing.T) {
 
 func TestApplySigmaMatchesMixtureRounding(t *testing.T) {
 	s := &Spec{
-		ID: "sig",
+		ID:         "sig",
 		Facilities: []FacilitySpec{{Name: "A", Locations: 10, Resources: 1}},
 		Demand: []DemandSpec{
 			{Name: "a", Count: 7},
@@ -191,7 +191,10 @@ func TestApplySigmaMatchesMixtureRounding(t *testing.T) {
 		},
 		Axis: AxisSpec{Variable: VarSigma, From: 0, To: 1, Step: 0.25, Round: 2},
 	}
-	for _, tc := range []struct{ sigma float64; wantB int }{
+	for _, tc := range []struct {
+		sigma float64
+		wantB int
+	}{
 		{0, 0}, {0.25, 2}, {0.5, 4}, {0.75, 5}, {1, 7},
 	} {
 		c, err := s.at(tc.sigma)

@@ -154,6 +154,32 @@ func (s *Summary) Add(x float64) {
 	s.everStored = true
 }
 
+// Merge folds another summary into s, as if every observation added to o
+// had been added to s (Chan et al.'s pairwise moment combination). It is
+// the reduction step of the parallel estimators: workers accumulate into
+// private summaries and merge them in a fixed order, so the merged moments
+// are deterministic for a given partition regardless of completion order.
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.mean += delta * float64(o.n) / float64(n)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
 // N returns the number of observations.
 func (s *Summary) N() int { return s.n }
 

@@ -238,3 +238,48 @@ func BenchmarkRandUint64(b *testing.B) {
 		_ = r.Uint64()
 	}
 }
+
+func TestSummaryMerge(t *testing.T) {
+	// Merging partial summaries must match feeding every value into one.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9, -1, 3.5, 12, 0.25}
+	for split := 0; split <= len(xs); split++ {
+		var a, b, whole Summary
+		for i, x := range xs {
+			if i < split {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+			whole.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N = %d, want %d", split, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-12 {
+			t.Errorf("split %d: mean %g vs %g", split, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Var()-whole.Var()) > 1e-12 {
+			t.Errorf("split %d: var %g vs %g", split, a.Var(), whole.Var())
+		}
+		if a.Min() != whole.Min() || a.Max() != whole.Max() {
+			t.Errorf("split %d: min/max %g/%g vs %g/%g", split, a.Min(), a.Max(), whole.Min(), whole.Max())
+		}
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, empty Summary
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Error("merging an empty summary must be a no-op")
+	}
+	var c Summary
+	c.Merge(a)
+	if c.N() != 2 || c.Mean() != 2 || c.Min() != 1 || c.Max() != 3 {
+		t.Errorf("merge into empty lost state: %+v", c)
+	}
+}
