@@ -32,6 +32,7 @@ import (
 
 	"fedshare/internal/allocation"
 	"fedshare/internal/asciichart"
+	"fedshare/internal/coalition"
 	"fedshare/internal/core"
 	"fedshare/internal/figures"
 	"fedshare/internal/obs"
@@ -74,6 +75,7 @@ func main() {
 	samples := flag.Int("samples", 0, "permutation-sample budget for the approximate Shapley engine (0 = spec/default)")
 	ciTarget := flag.Float64("ci-target", 0, "adaptive sampling target: 95% CI half-width as a fraction of V(N), e.g. 0.01 (0 = spec/default)")
 	seed := flag.Uint64("seed", 0, "seed for the approximate Shapley engine's deterministic sample stream (0 = spec/default)")
+	noIncremental := flag.Bool("no-incremental", false, "disable the incremental prefix-allocation path in the sampling Shapley engines (results are bit-identical; for verification and measurement)")
 	flag.Usage = func() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintln(out, "usage: fedsim [flags]")
@@ -95,6 +97,9 @@ func main() {
 	// policy.BuildWeightTable) is bounded independently.
 	if *sweepWorkers > 0 {
 		sweep.SetDefaultWorkers(*sweepWorkers)
+	}
+	if *noIncremental {
+		coalition.SetIncrementalEnabled(false)
 	}
 
 	if *cpuProfile != "" {
@@ -237,12 +242,14 @@ func (o approxOverrides) apply(s *scenario.Spec) (*scenario.Spec, error) {
 
 // figureSummary is one figure's entry in the -json run summary.
 type figureSummary struct {
-	ID          string `json:"id"`
-	Title       string `json:"title"`
-	WallClockNS int64  `json:"wall_clock_ns"`
-	MemoHits    int64  `json:"memo_hits"`
-	MemoMisses  int64  `json:"memo_misses"`
-	SeriesCount int    `json:"series"`
+	ID              string `json:"id"`
+	Title           string `json:"title"`
+	WallClockNS     int64  `json:"wall_clock_ns"`
+	MemoHits        int64  `json:"memo_hits"`
+	MemoMisses      int64  `json:"memo_misses"`
+	PrefixSteps     int64  `json:"prefix_steps"`
+	PrefixFallbacks int64  `json:"prefix_fallbacks"`
+	SeriesCount     int    `json:"series"`
 }
 
 // runSummary is the fedsim -json document: per-figure timings plus the
@@ -296,6 +303,7 @@ func (rc *runConfig) scenarioFile(path string) error {
 // and attributing allocation-memo traffic to it.
 func (rc *runConfig) render(span, attr, id string, gen func() (*figures.Figure, error)) error {
 	before := allocation.DefaultMemo.Stats()
+	stepsBefore, fallbacksBefore := allocation.PrefixCounters()
 	sp := obs.StartSpan(span).Attr(attr, id)
 	start := time.Now()
 	f, err := gen()
@@ -306,12 +314,17 @@ func (rc *runConfig) render(span, attr, id string, gen func() (*figures.Figure, 
 	elapsed := time.Since(start)
 	sp.End()
 	after := allocation.DefaultMemo.Stats()
+	stepsAfter, fallbacksAfter := allocation.PrefixCounters()
+	steps := stepsAfter - stepsBefore
+	fallbacks := fallbacksAfter - fallbacksBefore
 	if rc.jsonOut {
 		rc.figureSummary = append(rc.figureSummary, figureSummary{
 			ID: f.ID, Title: f.Title, WallClockNS: elapsed.Nanoseconds(),
-			MemoHits:    after.Hits - before.Hits,
-			MemoMisses:  after.Misses - before.Misses,
-			SeriesCount: len(f.Series),
+			MemoHits:        after.Hits - before.Hits,
+			MemoMisses:      after.Misses - before.Misses,
+			PrefixSteps:     steps,
+			PrefixFallbacks: fallbacks,
+			SeriesCount:     len(f.Series),
 		})
 		return nil
 	}
@@ -323,8 +336,13 @@ func (rc *runConfig) render(span, attr, id string, gen func() (*figures.Figure, 
 		if hits+misses > 0 {
 			rate = float64(hits) / float64(hits+misses)
 		}
-		fmt.Printf("-- %s: %v wall-clock, allocation memo %d hits / %d misses (%.1f%% hit rate)\n\n",
+		fmt.Printf("-- %s: %v wall-clock, allocation memo %d hits / %d misses (%.1f%% hit rate)",
 			f.ID, elapsed.Round(time.Microsecond), hits, misses, 100*rate)
+		if steps > 0 {
+			fmt.Printf(", prefix solver %d steps / %d fallbacks (%.1f%% fallback rate)",
+				steps, fallbacks, 100*float64(fallbacks)/float64(steps))
+		}
+		fmt.Printf("\n\n")
 	}
 	return nil
 }

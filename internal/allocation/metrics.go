@@ -6,6 +6,22 @@ import "fedshare/internal/obs"
 // reset with Memo.Reset, hence gauges, not counters). Exporting them as
 // callback gauges reads the existing counters at scrape time, so the
 // Solve hot path is untouched.
+// Prefix-solver counters. PrefixSolver batches its per-step deltas and
+// flushes them on Reset/Stats (once per permutation half-walk), so the
+// incremental hot path performs no atomic operations.
+var (
+	prefixStepsTotal = obs.Default.Counter("fedshare_allocation_prefix_steps_total",
+		"Incremental prefix-solver steps (PrefixSolver.Add calls).")
+	prefixFallbacksTotal = obs.Default.Counter("fedshare_allocation_prefix_fallbacks_total",
+		"Prefix-solver steps that fell back to a full re-solve of the prefix pool.")
+)
+
+// PrefixCounters snapshots the process-wide prefix-solver counters
+// (steps, fallbacks) for delta reporting (fedsim -v).
+func PrefixCounters() (steps, fallbacks int64) {
+	return prefixStepsTotal.Value(), prefixFallbacksTotal.Value()
+}
+
 func init() {
 	obs.Default.GaugeFunc("fedshare_alloc_memo_hits",
 		"Allocation-memo lookups served from the table since start/reset.",

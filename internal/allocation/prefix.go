@@ -1,0 +1,439 @@
+package allocation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Incremental prefix allocation.
+//
+// The sampling Shapley engines evaluate V along the growing prefixes of a
+// permutation: V({π1}), V({π1,π2}), ... V(N). Solved from scratch, every
+// step rebuilds the pool and re-runs the full allocation problem (2) of
+// Sec. 3.1, making a single permutation walk O(n²·solve). A PrefixSolver
+// instead carries the solved state of the current prefix and updates it
+// when one facility's class of locations joins the pool:
+//
+//   - on the Gale–Ryser fast path (uniform request resources, linear
+//     utility, no binding Max — the paper's figure workloads), V equals
+//     totalSlots(m*) for the greedily admitted count m*. The solver keeps
+//     the pool's per-location capacity histogram in two Fenwick trees, so
+//     adding a class is an O(log K) point update and re-finding m* is a
+//     binary search with O(log K) totalSlots queries — no pool rebuild,
+//     no admission-loop re-scan of the locations.
+//   - on the general (greedy-engine) path, the solver repairs instead of
+//     re-solving when it can certify that the repaired value equals a
+//     fresh solveGreedy run: under the abundant-capacity certificate
+//     (every pool class's per-location capacity covers the total resource
+//     demand Σ_j r_j), the greedy provably admits every feasible request
+//     and tops each up independently, so V has a closed form evaluated in
+//     O(K). When the certificate fails, the solver falls back to a full
+//     re-solve of the prefix pool (counted; see PrefixStats) — reading
+//     the allocation memo but never inserting, so permutation walks do
+//     not flood the table with one-off prefix keys.
+//
+// Values are bit-identical to Solve on the fast path (all arithmetic is
+// exact integer slot counting) and on the certified repair path (the
+// closed form replays the greedy's own float operations in the same
+// order); fallback steps call the same Solve the non-incremental path
+// uses. A walk therefore produces the same float64 stream as calling
+// Solve on every prefix, which is what keeps the samplers' fixed-seed
+// determinism contract intact with the incremental path on or off.
+
+// PrefixStats counts how a PrefixSolver's steps were served.
+type PrefixStats struct {
+	// Steps is the number of Add calls.
+	Steps int64
+	// Fast is the number of steps valued by the incremental exact
+	// Gale–Ryser/analytic fast path.
+	Fast int64
+	// Repaired is the number of steps valued by the certified greedy
+	// repair (abundant-capacity closed form).
+	Repaired int64
+	// Fallbacks is the number of steps that re-solved the full prefix
+	// pool because no incremental path could certify the value.
+	Fallbacks int64
+}
+
+// FallbackRate returns the fraction of steps that fell back to a full
+// re-solve.
+func (s PrefixStats) FallbackRate() float64 {
+	if s.Steps == 0 {
+		return 0
+	}
+	return float64(s.Fallbacks) / float64(s.Steps)
+}
+
+// PrefixSolver evaluates V over a growing pool of location classes for a
+// fixed request list. It is stateful and NOT safe for concurrent use;
+// create one per walker goroutine (they may share one Memo, which is
+// concurrency-safe).
+type PrefixSolver struct {
+	reqs []Request
+	memo *Memo
+
+	// Request-list digests, fixed at construction.
+	k          int     // len(reqs)
+	r0         float64 // reqs[0].Resources when k > 0
+	uniformRes bool    // all Resources == r0
+	allLinear  bool    // all Shape == 1
+	boundedMax int     // smallest positive Max among requests; 0 = none
+	homogMin   int     // common Min when all equal, else -1
+	order      []int   // request indices, stable ascending-Min (solveFast order)
+	sumRes     float64 // Σ_j Resources_j — the abundant-capacity bar
+
+	// Pool state.
+	classes []Class
+	poolL   int
+	scarce  int // classes with Count > 0 and Capacity < sumRes
+
+	// Fast-path slot accounting: Fenwick trees over the capped
+	// per-location experiment capacity b = min(⌊Capacity/r0⌋, k).
+	fcnt   []int64 // location counts by b
+	fslots []int64 // b·count by b
+	totCnt int64
+	maxN   int // largest capped b among non-empty classes
+
+	minsDesc []int // admission-replay scratch
+
+	value float64
+	stats PrefixStats
+	// Flushed-to-metrics watermarks (see flushMetrics).
+	flushedSteps, flushedFallbacks int64
+}
+
+// NewPrefixSolver builds a solver for the given request list. The memo,
+// when non-nil, is consulted (read-only) on fallback steps; pass nil to
+// always re-solve directly. It validates the requests with the same rules
+// Solve enforces.
+func NewPrefixSolver(reqs []Request, memo *Memo) (*PrefixSolver, error) {
+	for j, r := range reqs {
+		if r.Resources <= 0 {
+			return nil, fmt.Errorf("allocation: request %d has non-positive Resources", j)
+		}
+		if r.Shape <= 0 {
+			return nil, fmt.Errorf("allocation: request %d has non-positive Shape", j)
+		}
+		if r.Min < 0 {
+			return nil, fmt.Errorf("allocation: request %d has negative Min", j)
+		}
+	}
+	ps := &PrefixSolver{
+		reqs:       reqs,
+		memo:       memo,
+		k:          len(reqs),
+		uniformRes: true,
+		allLinear:  true,
+		homogMin:   -1,
+	}
+	if ps.k > 0 {
+		ps.r0 = reqs[0].Resources
+		ps.homogMin = reqs[0].Min
+	}
+	for _, r := range reqs {
+		if r.Resources != ps.r0 {
+			ps.uniformRes = false
+		}
+		if r.Shape != 1 {
+			ps.allLinear = false
+		}
+		if r.Max > 0 && (ps.boundedMax == 0 || r.Max < ps.boundedMax) {
+			ps.boundedMax = r.Max
+		}
+		if r.Min != ps.homogMin {
+			ps.homogMin = -1
+		}
+		ps.sumRes += r.Resources
+	}
+	ps.order = make([]int, ps.k)
+	for i := range ps.order {
+		ps.order[i] = i
+	}
+	sort.SliceStable(ps.order, func(a, b int) bool {
+		return reqs[ps.order[a]].Min < reqs[ps.order[b]].Min
+	})
+	if ps.fastEligible() {
+		ps.fcnt = make([]int64, ps.k+1)
+		ps.fslots = make([]int64, ps.k+1)
+	}
+	ps.minsDesc = make([]int, 0, ps.k)
+	return ps, nil
+}
+
+// fastEligible reports whether the fast path can ever apply to this
+// request list (the remaining condition — no Max binding below the pool
+// size — depends on the current pool and is checked per step).
+func (ps *PrefixSolver) fastEligible() bool {
+	return ps.k > 0 && ps.uniformRes && ps.allLinear
+}
+
+// Reset empties the pool, starting a new walk. Counter deltas accumulated
+// since the previous flush are published to the process metrics.
+func (ps *PrefixSolver) Reset() {
+	ps.flushMetrics()
+	ps.classes = ps.classes[:0]
+	ps.poolL = 0
+	ps.scarce = 0
+	ps.totCnt = 0
+	ps.maxN = 0
+	for i := range ps.fcnt {
+		ps.fcnt[i] = 0
+		ps.fslots[i] = 0
+	}
+	ps.value = 0
+}
+
+// flushMetrics publishes counter deltas since the last flush to the
+// process-wide prefix metrics. Called from Reset so the hot Add path pays
+// no atomic operations.
+func (ps *PrefixSolver) flushMetrics() {
+	if d := ps.stats.Steps - ps.flushedSteps; d > 0 {
+		prefixStepsTotal.Add(d)
+		ps.flushedSteps = ps.stats.Steps
+	}
+	if d := ps.stats.Fallbacks - ps.flushedFallbacks; d > 0 {
+		prefixFallbacksTotal.Add(d)
+		ps.flushedFallbacks = ps.stats.Fallbacks
+	}
+}
+
+// Stats returns the solver's step counters (flushing them to the process
+// metrics as a side effect).
+func (ps *PrefixSolver) Stats() PrefixStats {
+	ps.flushMetrics()
+	return ps.stats
+}
+
+// Value returns V of the current pool.
+func (ps *PrefixSolver) Value() float64 { return ps.value }
+
+// Add grows the pool by one class and returns the new V — exactly
+// Solve(pool, reqs).Utility for the accumulated pool. It panics on
+// invalid classes, mirroring Solve.
+func (ps *PrefixSolver) Add(c Class) float64 {
+	if c.Count < 0 {
+		panic(fmt.Sprintf("allocation: class %s has negative count", c.Label))
+	}
+	if c.Capacity < 0 {
+		panic(fmt.Sprintf("allocation: class %s has negative capacity", c.Label))
+	}
+	ps.classes = append(ps.classes, c)
+	ps.stats.Steps++
+	if c.Count > 0 {
+		ps.poolL += c.Count
+		if c.Capacity < ps.sumRes {
+			ps.scarce++
+		}
+		if ps.fastEligible() {
+			b := int(math.Floor(c.Capacity / ps.r0))
+			if b > ps.k {
+				b = ps.k
+			}
+			fenwAdd(ps.fcnt, b, int64(c.Count))
+			fenwAdd(ps.fslots, b, int64(b)*int64(c.Count))
+			ps.totCnt += int64(c.Count)
+			if b > ps.maxN {
+				ps.maxN = b
+			}
+		}
+	}
+	ps.value = ps.solveStep()
+	return ps.value
+}
+
+// solveStep picks the cheapest path that reproduces Solve on the current
+// pool: incremental fast path, certified greedy repair, full fallback.
+func (ps *PrefixSolver) solveStep() float64 {
+	if ps.k == 0 {
+		// Solve of an empty request list is 0 on every pool.
+		ps.stats.Fast++
+		return 0
+	}
+	// Mirror of fastApplies: uniform resources, all shapes 1, and no Max
+	// binding below the current pool size.
+	if ps.fastEligible() && (ps.boundedMax == 0 || ps.boundedMax >= ps.poolL) {
+		ps.stats.Fast++
+		return float64(ps.fastValue())
+	}
+	if ps.scarce == 0 {
+		ps.stats.Repaired++
+		return ps.abundantValue()
+	}
+	ps.stats.Fallbacks++
+	return ps.fallbackValue()
+}
+
+// totalSlots returns Σ_c Count_c·min(n_c, m) over the current pool via
+// the Fenwick trees — the same quantity totalSlots computes from the
+// class arrays, valid for m ≤ k (the only range admission ever queries,
+// which is why capping b at k is lossless).
+func (ps *PrefixSolver) totalSlots(m int) int64 {
+	if m <= 0 {
+		return 0
+	}
+	le := fenwSum(ps.fcnt, m-1)
+	return fenwSum(ps.fslots, m-1) + int64(m)*(ps.totCnt-le)
+}
+
+// fastValue is the incremental fast path: V = totalSlots(m*) with m* the
+// admitted count, by closed form for homogeneous minima (the analytic
+// engine's domain) and by admission replay otherwise.
+func (ps *PrefixSolver) fastValue() int64 {
+	if ps.homogMin >= 0 {
+		return ps.homogValue()
+	}
+	return ps.heteroFastValue()
+}
+
+// homogValue mirrors solveAnalytic's admission: identical minima make
+// Gale–Ryser a single inequality whose feasible set is a prefix of 0..k.
+func (ps *PrefixSolver) homogValue() int64 {
+	l := ps.homogMin
+	switch {
+	case l > ps.poolL:
+		return 0
+	case l == 0:
+		m := ps.k
+		if m > ps.maxN {
+			m = ps.maxN
+		}
+		return ps.totalSlots(m)
+	default:
+		lo, hi := 0, ps.k
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if int64(mid)*int64(l) <= ps.totalSlots(mid) {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return ps.totalSlots(lo)
+	}
+}
+
+// heteroFastValue replays solveFast's admission loop — ascending-Min
+// scan, insertion into the descending minima multiset, Gale–Ryser prefix
+// feasibility — against the Fenwick slot oracle, so no per-step pool or
+// class-table rebuild happens.
+func (ps *PrefixSolver) heteroFastValue() int64 {
+	admitted := 0
+	minsDesc := ps.minsDesc[:0]
+	for _, j := range ps.order {
+		min := ps.reqs[j].Min
+		if min > ps.poolL {
+			continue
+		}
+		if min == 0 && ps.totalSlots(admitted+1) == ps.totalSlots(admitted) {
+			continue
+		}
+		pos := sort.Search(len(minsDesc), func(i int) bool { return minsDesc[i] < min })
+		minsDesc = append(minsDesc, 0)
+		copy(minsDesc[pos+1:], minsDesc[pos:])
+		minsDesc[pos] = min
+		feasible := true
+		prefix := int64(0)
+		for t, v := range minsDesc {
+			prefix += int64(v)
+			if prefix > ps.totalSlots(t+1) {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			copy(minsDesc[pos:], minsDesc[pos+1:])
+			minsDesc = minsDesc[:len(minsDesc)-1]
+			continue
+		}
+		admitted++
+	}
+	ps.minsDesc = minsDesc[:0]
+	return ps.totalSlots(admitted)
+}
+
+// abundantValue is the certified greedy repair. Certificate: every class
+// in the pool has per-location capacity ≥ Σ_j Resources_j, so a location
+// can host every request at once and capacity never binds. Under it,
+// greedyWithOrder provably (a) admits exactly the requests with
+// Min ≤ maxLocations(L) in either admission order, (b) gives each its
+// minimum in Phase A, and (c) tops each up independently in Phase B until
+// its Max, the pool size, or the 1e-12 marginal-gain cutoff stops it.
+// Both greedy orders therefore produce the same per-request counts and
+// the same utility, which this closed form reproduces — including float
+// summation order — bit-for-bit.
+func (ps *PrefixSolver) abundantValue() float64 {
+	u := 0.0
+	for j := range ps.reqs {
+		r := &ps.reqs[j]
+		maxX := r.maxLocations(ps.poolL)
+		if r.Min > maxX {
+			continue
+		}
+		u += r.Utility(greedyTopUp(r, maxX))
+	}
+	return u
+}
+
+// greedyTopUp returns the location count greedy Phase B reaches for an
+// admitted request when locations are never scarce: starting from Min,
+// take another location while the marginal utility gain exceeds the
+// greedy's 1e-12 cutoff, up to maxX. The gain (x+1)^d − x^d is monotone
+// in x on x ≥ Min (increasing for d ≥ 1, decreasing for d < 1), so the
+// stopping point is found by inspection or binary search.
+func greedyTopUp(r *Request, maxX int) int {
+	x := r.Min
+	if x >= maxX {
+		return x
+	}
+	gain := func(x int) float64 { return r.Utility(x+1) - r.Utility(x) }
+	if gain(x) <= 1e-12 {
+		return x
+	}
+	if gain(maxX-1) > 1e-12 {
+		return maxX
+	}
+	// Decreasing gains (d < 1): largest t with every gain on the way
+	// above the cutoff, i.e. gain(t-1) > 1e-12.
+	lo, hi := x+1, maxX
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if gain(mid-1) > 1e-12 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// fallbackValue re-solves the whole prefix pool: memo read first (repeated
+// aggregate keys — e.g. symmetric prefixes — still hit), then a direct
+// solve that is deliberately NOT inserted, so one-off prefix keys cannot
+// flood the memo.
+func (ps *PrefixSolver) fallbackValue() float64 {
+	pool := Pool{Classes: ps.classes}
+	if ps.memo != nil {
+		if res, ok := ps.memo.Lookup(pool, ps.reqs); ok {
+			return res.Utility
+		}
+	}
+	return Solve(pool, ps.reqs).Utility
+}
+
+// fenwAdd adds d at index i (0-based) of a Fenwick tree stored in a
+// 1-based array of length len(t); t must have length ≥ 2.
+func fenwAdd(t []int64, i int, d int64) {
+	for i++; i < len(t); i += i & -i {
+		t[i] += d
+	}
+}
+
+// fenwSum returns the prefix sum over indices [0, i].
+func fenwSum(t []int64, i int) int64 {
+	s := int64(0)
+	for i++; i > 0; i -= i & -i {
+		s += t[i]
+	}
+	return s
+}

@@ -71,6 +71,11 @@ type ApproxOptions struct {
 	// NoAntithetic disables antithetic pairing (each sample unit is a
 	// single ordering). Used by estimator-quality tests and benchmarks.
 	NoAntithetic bool
+	// NoIncremental disables the incremental prefix-evaluation path for
+	// this run (see SetIncrementalEnabled for the process-wide switch):
+	// every prefix is evaluated through ValueMembers. The result is
+	// bit-identical either way.
+	NoIncremental bool
 }
 
 // ApproxResult is a sampled Shapley estimate with per-player uncertainty.
@@ -144,8 +149,9 @@ func ApproxShapley(g MemberGame, opt ApproxOptions) (*ApproxResult, error) {
 	eng := &approxEngine{
 		g: g, n: n, seed: opt.Seed,
 		groups: groups, groupOf: groupOf,
-		antithetic: !opt.NoAntithetic,
-		sums:       make([][]stats.Summary, approxStrata),
+		antithetic:    !opt.NoAntithetic,
+		noIncremental: opt.NoIncremental,
+		sums:          make([][]stats.Summary, approxStrata),
 	}
 	for s := range eng.sums {
 		eng.sums[s] = make([]stats.Summary, len(groups))
@@ -237,12 +243,13 @@ func normalizeGroups(n int, groups [][]int) ([][]int, []int, error) {
 
 // approxEngine carries the sampler state shared across rounds.
 type approxEngine struct {
-	g          MemberGame
-	n          int
-	seed       uint64
-	groups     [][]int
-	groupOf    []int
-	antithetic bool
+	g             MemberGame
+	n             int
+	seed          uint64
+	groups        [][]int
+	groupOf       []int
+	antithetic    bool
+	noIncremental bool
 	// sums[s][g] accumulates stratum s's observations for group g. Strata
 	// are keyed by unit index (u mod approxStrata), so their contents are
 	// independent of how units are scheduled onto workers.
@@ -262,7 +269,7 @@ func (e *approxEngine) run(from, to, workers int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := newApproxScratch(e.n, len(e.groups))
+			scratch := e.newScratch()
 			for s := range jobs {
 				u := from + (s-from%approxStrata+approxStrata)%approxStrata
 				for ; u < to; u += approxStrata {
@@ -286,19 +293,28 @@ func (e *approxEngine) permsPerUnit() int {
 	return 1
 }
 
-// approxScratch is the per-worker reusable buffer set.
+// approxScratch is the per-worker reusable buffer set, including the
+// worker's prefix walker (incremental valuers are stateful, one per
+// worker) and its preallocated visit closures.
 type approxScratch struct {
 	perm []int
 	marg []float64 // pair-averaged marginal per player
 	obs  []float64 // pooled observation per group
+	w    *prefixWalker
+	set  func(player int, delta float64) // forward pass: marg[p] = δ
+	add  func(player int, delta float64) // reverse pass: marg[p] += δ
 }
 
-func newApproxScratch(n, groups int) *approxScratch {
-	return &approxScratch{
-		perm: make([]int, n),
-		marg: make([]float64, n),
-		obs:  make([]float64, groups),
+func (e *approxEngine) newScratch() *approxScratch {
+	sc := &approxScratch{
+		perm: make([]int, e.n),
+		marg: make([]float64, e.n),
+		obs:  make([]float64, len(e.groups)),
+		w:    newPrefixWalker(e.g, e.noIncremental),
 	}
+	sc.set = func(p int, d float64) { sc.marg[p] = d }
+	sc.add = func(p int, d float64) { sc.marg[p] += d }
+	return sc
 }
 
 // unit evaluates one sample unit: a permutation with deterministically
@@ -318,9 +334,9 @@ func (e *approxEngine) unit(u int, sc *approxScratch) {
 	rest := perm[1:]
 	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
 
-	e.walk(perm, sc.marg, false)
+	sc.w.walk(perm, false, sc.set)
 	if e.antithetic {
-		e.walk(perm, sc.marg, true)
+		sc.w.walk(perm, true, sc.add)
 		for i := range sc.marg {
 			sc.marg[i] /= 2
 		}
@@ -335,30 +351,6 @@ func (e *approxEngine) unit(u int, sc *approxScratch) {
 	stratum := e.sums[u%approxStrata]
 	for gi := range stratum {
 		stratum[gi].Add(sc.obs[gi])
-	}
-}
-
-// walk evaluates V along the growing prefixes of perm (reversed when rev
-// is set), writing each player's marginal contribution into marg (adding
-// when rev, so the forward and reverse passes accumulate the pair sum).
-func (e *approxEngine) walk(perm []int, marg []float64, rev bool) {
-	n := e.n
-	prev := 0.0
-	if !rev {
-		for k := 1; k <= n; k++ {
-			v := e.g.ValueMembers(perm[:k])
-			marg[perm[k-1]] = v - prev
-			prev = v
-		}
-		return
-	}
-	// The reversal is walked through the same buffer from the tail, so no
-	// second permutation buffer is needed: prefix k of reverse(perm) is
-	// the suffix perm[n-k:].
-	for k := 1; k <= n; k++ {
-		v := e.g.ValueMembers(perm[n-k:])
-		marg[perm[n-k]] += v - prev
-		prev = v
 	}
 }
 

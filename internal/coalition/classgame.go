@@ -237,7 +237,42 @@ func (g *classMemberGame) ValueMembers(members []int) float64 {
 	for _, p := range members {
 		counts[g.cs.ClassOf[p]]++
 	}
-	key := make([]byte, 2*k)
+	return g.valueCounts(counts, make([]byte, 2*k))
+}
+
+// PrefixValuer implements PrefixGame: the walker's coalition reduces to a
+// count vector maintained incrementally, so each prefix step is one O(k)
+// memo probe with no per-member scan. The valuer shares the game's striped
+// memo, so incremental and ValueMembers evaluations return the same cached
+// floats bit-for-bit.
+func (g *classMemberGame) PrefixValuer() PrefixValuer {
+	k := g.cs.K()
+	return &classPrefixValuer{g: g, counts: make([]int, k), key: make([]byte, 2*k)}
+}
+
+// classPrefixValuer is the incremental walker state over one count vector.
+type classPrefixValuer struct {
+	g      *classMemberGame
+	counts []int
+	key    []byte
+}
+
+// Reset implements PrefixValuer.
+func (v *classPrefixValuer) Reset() {
+	for j := range v.counts {
+		v.counts[j] = 0
+	}
+}
+
+// Extend implements PrefixValuer.
+func (v *classPrefixValuer) Extend(p int) float64 {
+	v.counts[v.g.cs.ClassOf[p]]++
+	return v.g.valueCounts(v.counts, v.key)
+}
+
+// valueCounts returns the collapsed game's value for a count vector
+// through the striped memo; key is a caller-provided 2·K-byte scratch.
+func (g *classMemberGame) valueCounts(counts []int, key []byte) float64 {
 	for j, c := range counts {
 		binary.LittleEndian.PutUint16(key[2*j:], uint16(c))
 	}

@@ -51,6 +51,10 @@ type Options struct {
 	// partition; otherwise Values asks the game itself via the
 	// ClassStructured interface.
 	Structure *ClassStructure
+	// NoIncremental disables the incremental prefix-evaluation path in
+	// the sampling engines (bit-identical results either way; see
+	// ApproxOptions.NoIncremental).
+	NoIncremental bool
 }
 
 // ClassStructured is implemented by games that can expose their
@@ -140,6 +144,7 @@ func Values(g MemberGame, opt Options) (*ValueResult, error) {
 	aopt := ApproxOptions{
 		Samples: opt.Samples, CITarget: opt.CITarget,
 		Workers: opt.Workers, Seed: opt.Seed,
+		NoIncremental: opt.NoIncremental,
 	}
 	if aopt.Samples == 0 && aopt.CITarget == 0 {
 		aopt.Samples = DefaultApproxSamples

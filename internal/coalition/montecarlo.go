@@ -51,20 +51,21 @@ func MonteCarloShapleyParallel(g Game, samples, workers int, seed uint64) (Monte
 		go func() {
 			defer wg.Done()
 			perm := make([]int, n)
+			// The shared prefix walker serves both engines: incremental
+			// when the (unwrapped) game supports it, the plain
+			// ValueMembers loop otherwise — bit-identical either way.
+			w := newPrefixWalker(mg, false)
+			var acc []stats.Summary
+			visit := func(p int, d float64) { acc[p].Add(d) }
 			for s := range jobs {
-				acc := sums[s]
+				acc = sums[s]
 				for u := s; u < samples; u += mcStrata {
 					rng := stats.NewRand(seed + 0x9E3779B97F4A7C15*uint64(u+1))
 					for i := range perm {
 						perm[i] = i
 					}
 					rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
-					prev := 0.0
-					for k := 1; k <= n; k++ {
-						v := mg.ValueMembers(perm[:k])
-						acc[perm[k-1]].Add(v - prev)
-						prev = v
-					}
+					w.walk(perm, false, visit)
 				}
 			}
 		}()

@@ -1,0 +1,114 @@
+package coalition
+
+import "sync/atomic"
+
+// The shared prefix walker.
+//
+// Both sampling engines — ApproxShapley and MonteCarloShapleyParallel —
+// evaluate V along the growing prefixes of sampled permutations and
+// consume the per-step deltas V(prefix_k) − V(prefix_{k−1}). Until PR 7
+// each engine carried its own copy of that loop, and every step re-solved
+// the full prefix coalition from scratch. prefixWalker is the single
+// shared implementation: when the game can hand out an incremental
+// PrefixValuer, each step updates the previous prefix's solved state
+// (O(Δ) on the allocation fast path) instead of re-solving; otherwise it
+// falls back to the exact ValueMembers loop the engines always ran.
+//
+// Determinism: the incremental path is required to return bit-identical
+// values to ValueMembers (see allocation.PrefixSolver), and the walker
+// preserves the engines' visit order exactly, so fixed-seed results are
+// identical whether the incremental path is on or off — on top of the
+// existing worker-count invariance.
+
+// PrefixValuer incrementally evaluates V along a growing coalition. It is
+// stateful and single-goroutine; each sampling worker obtains its own.
+// Extend must return exactly ValueMembers of the players extended so far
+// (bit-identical, so sampling output is independent of whether the
+// incremental path is used).
+type PrefixValuer interface {
+	// Reset empties the coalition, starting a new walk.
+	Reset()
+	// Extend adds one player and returns V of the extended coalition.
+	Extend(player int) float64
+}
+
+// PrefixGame is a MemberGame that can hand out incremental prefix
+// evaluators. PrefixValuer may return nil when the game instance does not
+// support incremental evaluation (e.g. overlap models); callers fall back
+// to ValueMembers.
+type PrefixGame interface {
+	MemberGame
+	PrefixValuer() PrefixValuer
+}
+
+// incrementalDisabled is the process-wide kill switch for the incremental
+// prefix path (fedsim -no-incremental, the CI equivalence gate).
+var incrementalDisabled atomic.Bool
+
+// SetIncrementalEnabled turns the incremental prefix-evaluation path on or
+// off process-wide; off, the samplers evaluate every prefix through
+// ValueMembers. It reports the previous state. Results are bit-identical
+// either way — the switch exists to prove exactly that, and to measure the
+// incremental path's speedup.
+func SetIncrementalEnabled(on bool) bool {
+	return !incrementalDisabled.Swap(!on)
+}
+
+// prefixWalker walks permutation prefixes for one sampling worker. A nil
+// valuer means the generic ValueMembers path.
+type prefixWalker struct {
+	g  MemberGame
+	pv PrefixValuer
+}
+
+// newPrefixWalker builds a walker for g, acquiring an incremental valuer
+// when g supports one and the incremental path is enabled.
+func newPrefixWalker(g MemberGame, noIncremental bool) *prefixWalker {
+	w := &prefixWalker{g: g}
+	if noIncremental || incrementalDisabled.Load() {
+		return w
+	}
+	if pg, ok := g.(PrefixGame); ok {
+		w.pv = pg.PrefixValuer()
+	}
+	return w
+}
+
+// incremental reports whether the walker runs on the incremental path.
+func (w *prefixWalker) incremental() bool { return w.pv != nil }
+
+// walk evaluates V along the growing prefixes of perm — of reverse(perm)
+// when rev is set, walked through the same buffer from the tail: prefix k
+// of the reversal is the suffix perm[n−k:]. For each step it calls
+// visit(player, delta) with the player completing the prefix and its
+// marginal contribution V(prefix) − V(previous prefix).
+func (w *prefixWalker) walk(perm []int, rev bool, visit func(player int, delta float64)) {
+	n := len(perm)
+	prev := 0.0
+	if w.pv != nil {
+		w.pv.Reset()
+		for k := 1; k <= n; k++ {
+			p := perm[k-1]
+			if rev {
+				p = perm[n-k]
+			}
+			v := w.pv.Extend(p)
+			visit(p, v-prev)
+			prev = v
+		}
+		return
+	}
+	if !rev {
+		for k := 1; k <= n; k++ {
+			v := w.g.ValueMembers(perm[:k])
+			visit(perm[k-1], v-prev)
+			prev = v
+		}
+		return
+	}
+	for k := 1; k <= n; k++ {
+		v := w.g.ValueMembers(perm[n-k:])
+		visit(perm[n-k], v-prev)
+		prev = v
+	}
+}

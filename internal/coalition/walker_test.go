@@ -1,0 +1,184 @@
+package coalition
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"fedshare/internal/combin"
+	"fedshare/internal/stats"
+)
+
+// testPrefixGame is an additive game (V = Σ weights) implementing
+// PrefixGame, with a counter proving whether the incremental path ran.
+type testPrefixGame struct {
+	w       []float64
+	extends atomic.Int64
+}
+
+func (g *testPrefixGame) N() int { return len(g.w) }
+
+// Value implements the bitmask Game interface so the Monte-Carlo engine
+// accepts the game; AsMemberGame unwraps it back to the PrefixGame.
+func (g *testPrefixGame) Value(s combin.Set) float64 {
+	v := 0.0
+	for _, p := range s.Members() {
+		v += g.w[p]
+	}
+	return v
+}
+
+func (g *testPrefixGame) ValueMembers(members []int) float64 {
+	v := 0.0
+	for _, p := range members {
+		v += g.w[p]
+	}
+	return v
+}
+
+func (g *testPrefixGame) PrefixValuer() PrefixValuer {
+	return &testPrefixValuer{g: g}
+}
+
+type testPrefixValuer struct {
+	g *testPrefixGame
+	v float64
+}
+
+func (pv *testPrefixValuer) Reset() { pv.v = 0 }
+
+func (pv *testPrefixValuer) Extend(p int) float64 {
+	pv.g.extends.Add(1)
+	pv.v += pv.g.w[p]
+	return pv.v
+}
+
+func newTestPrefixGame(n int) *testPrefixGame {
+	g := &testPrefixGame{w: make([]float64, n)}
+	for i := range g.w {
+		g.w[i] = float64(i%7) + 0.25
+	}
+	return g
+}
+
+// TestWalkerIncrementalMatchesGeneric requires bit-identical sampler
+// output with the incremental path on and off, and verifies each mode
+// actually ran the intended path.
+func TestWalkerIncrementalMatchesGeneric(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		g := newTestPrefixGame(12)
+		opt := ApproxOptions{Samples: 96, Seed: 9, Workers: workers}
+		inc, err := ApproxShapley(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.extends.Load() == 0 {
+			t.Fatal("incremental path never ran on a PrefixGame")
+		}
+
+		g2 := newTestPrefixGame(12)
+		opt.NoIncremental = true
+		gen, err := ApproxShapley(g2, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.extends.Load() != 0 {
+			t.Fatal("NoIncremental still called Extend")
+		}
+		for i := range inc.Phi {
+			if inc.Phi[i] != gen.Phi[i] {
+				t.Fatalf("workers=%d player %d: incremental %.17g, generic %.17g",
+					workers, i, inc.Phi[i], gen.Phi[i])
+			}
+			if inc.CIHalf[i] != gen.CIHalf[i] {
+				t.Fatalf("workers=%d player %d: CI differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestSetIncrementalEnabled checks the process-wide kill switch.
+func TestSetIncrementalEnabled(t *testing.T) {
+	prev := SetIncrementalEnabled(false)
+	defer SetIncrementalEnabled(prev)
+
+	g := newTestPrefixGame(8)
+	if _, err := ApproxShapley(g, ApproxOptions{Samples: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if g.extends.Load() != 0 {
+		t.Fatal("kill switch off but Extend ran")
+	}
+	if on := SetIncrementalEnabled(true); on {
+		t.Fatal("SetIncrementalEnabled(true) reported previous state on")
+	}
+	if _, err := ApproxShapley(g, ApproxOptions{Samples: 32, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if g.extends.Load() == 0 {
+		t.Fatal("kill switch on but Extend never ran")
+	}
+}
+
+// TestWalkerMonteCarloIncremental checks the Monte-Carlo engine runs the
+// shared walker's incremental path on PrefixGames, bit-identically to the
+// generic path.
+func TestWalkerMonteCarloIncremental(t *testing.T) {
+	g := newTestPrefixGame(10)
+	inc, err := MonteCarloShapleyParallel(g, 200, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.extends.Load() == 0 {
+		t.Fatal("incremental path never ran")
+	}
+	prev := SetIncrementalEnabled(false)
+	gen, err := MonteCarloShapleyParallel(g, 200, 4, 7)
+	SetIncrementalEnabled(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inc.Phi {
+		if inc.Phi[i] != gen.Phi[i] {
+			t.Fatalf("player %d: incremental %.17g, generic %.17g", i, inc.Phi[i], gen.Phi[i])
+		}
+	}
+}
+
+// TestClassGamePrefixValuer walks random permutations through the
+// collapsed game's incremental valuer and requires exact agreement with
+// ValueMembers at every prefix (both share the count-vector memo).
+func TestClassGamePrefixValuer(t *testing.T) {
+	cs := &ClassStructure{
+		Mult:    []int{3, 4, 2},
+		ClassOf: []int{0, 0, 0, 1, 1, 1, 1, 2, 2},
+		Value: func(counts []int) float64 {
+			// Submodular-ish nonlinear class game.
+			v := 0.0
+			for j, c := range counts {
+				v += float64((j + 1) * c * (10 - c))
+			}
+			return v
+		},
+	}
+	mg := cs.MemberGame()
+	pg, ok := mg.(PrefixGame)
+	if !ok {
+		t.Fatal("collapsed game does not implement PrefixGame")
+	}
+	pv := pg.PrefixValuer()
+	if pv == nil {
+		t.Fatal("collapsed game returned a nil PrefixValuer")
+	}
+	rng := stats.NewRand(11)
+	n := cs.N()
+	for walk := 0; walk < 50; walk++ {
+		perm := rng.Perm(n)
+		pv.Reset()
+		for k := 1; k <= n; k++ {
+			got := pv.Extend(perm[k-1])
+			if want := mg.ValueMembers(perm[:k]); got != want {
+				t.Fatalf("walk %d prefix %d: incremental %.17g, direct %.17g", walk, k, got, want)
+			}
+		}
+	}
+}

@@ -68,9 +68,10 @@ func BenchmarkApproxShapley(b *testing.B) {
 // facilities alike, so symmetry collapse finds nothing and the sampler
 // walks the full n-player member-list game. Fixed budget (one stratified
 // antithetic round) rather than a CI target, so the metric is pure
-// sampling throughput.
+// sampling throughput — since PR 7, dominated by the incremental prefix
+// solver rather than per-prefix re-solves.
 func BenchmarkApproxShapleyDistinct(b *testing.B) {
-	for _, n := range []int{50, 100, 200} {
+	for _, n := range []int{50, 100, 200, 500} {
 		b.Run(benchName(n), func(b *testing.B) {
 			p := ApproxShapleyPolicy{Samples: 2 * n, Seed: 42, Method: coalition.MethodApprox}
 			for i := 0; i < b.N; i++ {

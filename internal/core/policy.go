@@ -88,6 +88,10 @@ type ApproxShapleyPolicy struct {
 	// (exact when feasible). coalition.MethodApprox forces the sampling
 	// estimator — what scenario specs with "method": "approx" request.
 	Method coalition.Method
+	// NoIncremental disables the incremental prefix-evaluation path in
+	// the sampling engines (fedsim -no-incremental flips the process-wide
+	// switch instead). Shares are bit-identical either way.
+	NoIncremental bool
 }
 
 // Name implements Policy.
@@ -115,10 +119,11 @@ func (p ApproxShapleyPolicy) Result(m *Model) (*coalition.ValueResult, error) {
 		method = coalition.MethodAuto
 	}
 	opt := coalition.Options{
-		Method:  method,
-		Workers: p.Workers,
-		Samples: p.Samples,
-		Seed:    p.Seed,
+		Method:        method,
+		Workers:       p.Workers,
+		Samples:       p.Samples,
+		Seed:          p.Seed,
+		NoIncremental: p.NoIncremental,
 	}
 	if p.CITarget < 0 {
 		return nil, fmt.Errorf("core: negative CI target %g", p.CITarget)

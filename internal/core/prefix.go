@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fedshare/internal/allocation"
+	"fedshare/internal/coalition"
+)
+
+// PrefixValuer implements coalition.PrefixGame: it returns a reusable
+// incremental walker over the federation game, so the sampling Shapley
+// engines can evaluate a permutation's growing prefixes by updating the
+// previous prefix's solved allocation state (allocation.PrefixSolver)
+// instead of re-solving V(S∪{i}) from scratch. Each Extend(i) adds
+// facility i's location class to the pool — exactly the class
+// ValueMembers builds — and returns µ times the updated optimal utility,
+// bit-identical to ValueMembers of the extended member list.
+//
+// Overlap models return nil (their V depends on concrete location
+// identities, not the class multiset, so no incremental pool state
+// applies); the walker then falls back to ValueMembers. The solver shares
+// the process-wide allocation memo read-only on its fallback steps, so
+// walks never flood the memo with one-off prefix keys.
+//
+// The returned valuer is stateful and single-goroutine; concurrent
+// sampling workers each obtain their own (sharing the model and the memo
+// is safe).
+func (m *Model) PrefixValuer() coalition.PrefixValuer {
+	if m.Overlap != nil {
+		return nil
+	}
+	ps, err := allocation.NewPrefixSolver(m.requests(), allocation.DefaultMemo)
+	if err != nil {
+		// Invalid demand surfaces as a panic in Solve/ValueMembers; let
+		// the non-incremental path report it the established way.
+		return nil
+	}
+	return &modelPrefixValuer{m: m, ps: ps}
+}
+
+// modelPrefixValuer walks one growing coalition of facilities.
+type modelPrefixValuer struct {
+	m  *Model
+	ps *allocation.PrefixSolver
+}
+
+// Reset implements coalition.PrefixValuer.
+func (v *modelPrefixValuer) Reset() { v.ps.Reset() }
+
+// Extend implements coalition.PrefixValuer.
+func (v *modelPrefixValuer) Extend(i int) float64 {
+	f := &v.m.Facilities[i]
+	if f.Locations == 0 {
+		// ValueMembers skips zero-location facilities when building the
+		// pool; the value is unchanged.
+		return v.m.muFactor() * v.ps.Value()
+	}
+	u := v.ps.Add(allocation.Class{
+		Label:    f.Name,
+		Count:    f.Locations,
+		Capacity: f.EffectiveCapacity(),
+	})
+	return v.m.muFactor() * u
+}
