@@ -8,6 +8,7 @@
 //	fedctl -addr 127.0.0.1:7001 -secret fed-secret slice delete myexp
 //	fedctl -addr 127.0.0.1:7001 shares -policy shapley
 //	fedctl metrics 127.0.0.1:9090
+//	fedctl status 127.0.0.1:9090
 //	fedctl scenarios
 package main
 
@@ -41,13 +42,23 @@ func main() {
 		usage()
 	}
 
-	// The metrics command talks HTTP to a daemon's -metrics-addr endpoint,
-	// not the SFA wire protocol, so it is handled before dialing.
+	// The metrics and status commands talk HTTP to a daemon's -metrics-addr
+	// endpoint, not the SFA wire protocol, so they are handled before
+	// dialing.
 	if args[0] == "metrics" {
 		if len(args) != 2 {
 			usage()
 		}
 		if err := printMetrics(args[1]); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if args[0] == "status" {
+		if len(args) != 2 {
+			usage()
+		}
+		if err := printStatus(args[1]); err != nil {
 			fail(err)
 		}
 		return
@@ -180,11 +191,39 @@ func main() {
 	}
 }
 
+// printStatus probes a daemon's liveness and readiness endpoints with the
+// same transient retry as the metrics command and reports both. It fails
+// (non-zero exit) when the daemon is unreachable or not ready, so scripts
+// can gate on `fedctl status`.
+func printStatus(addr string) error {
+	probe := func(path string) (string, bool, error) {
+		resp, err := fetchWithRetry(addr, path)
+		if err != nil {
+			return "", false, err
+		}
+		defer resp.Body.Close()
+		return resp.Status, resp.StatusCode == http.StatusOK, nil
+	}
+	health, alive, err := probe("/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	ready, isReady, err := probe("/readyz")
+	if err != nil {
+		return fmt.Errorf("readyz: %w", err)
+	}
+	fmt.Printf("healthz: %s\nreadyz:  %s\n", health, ready)
+	if !alive || !isReady {
+		return fmt.Errorf("daemon at %s is not ready", addr)
+	}
+	return nil
+}
+
 // printMetrics fetches a daemon's JSON metrics snapshot and renders it as
 // a table: counters and gauges one line each, histograms as
 // count/mean/max-bucket summaries.
 func printMetrics(addr string) error {
-	resp, err := fetchMetrics(addr)
+	resp, err := fetchWithRetry(addr, "/metrics.json")
 	if err != nil {
 		return err
 	}
@@ -199,11 +238,11 @@ func printMetrics(addr string) error {
 	return renderMetrics(snap)
 }
 
-// fetchMetrics retries transient connection failures (a daemon still coming
-// up, or a metrics listener mid-restart) with doubling backoff. Non-200
-// responses are NOT retried: the daemon answered, so asking again changes
-// nothing.
-func fetchMetrics(addr string) (*http.Response, error) {
+// fetchWithRetry GETs a path off a daemon's metrics endpoint, retrying
+// transient connection failures (a daemon still coming up, or a metrics
+// listener mid-restart) with doubling backoff. Non-200 responses are NOT
+// retried: the daemon answered, so asking again changes nothing.
+func fetchWithRetry(addr, path string) (*http.Response, error) {
 	httpc := &http.Client{Timeout: 10 * time.Second}
 	var lastErr error
 	delay := 100 * time.Millisecond
@@ -212,13 +251,13 @@ func fetchMetrics(addr string) (*http.Response, error) {
 			time.Sleep(delay)
 			delay *= 2
 		}
-		resp, err := httpc.Get("http://" + addr + "/metrics.json")
+		resp, err := httpc.Get("http://" + addr + path)
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("metrics fetch (after retries): %w", lastErr)
+	return nil, fmt.Errorf("fetch %s (after retries): %w", path, lastErr)
 }
 
 func renderMetrics(snap obs.Snapshot) error {
@@ -269,6 +308,7 @@ commands:
   shares [-policy shapley|proportional|consumption|equal|nucleolus|banzhaf]
   usage
   metrics <metrics-addr>    fetch and render a daemon's /metrics.json snapshot
+  status <metrics-addr>     probe a daemon's /healthz and /readyz (non-zero exit if not ready)
   scenarios                 list the registered scenario specs (run with fedsim)`)
 	os.Exit(2)
 }

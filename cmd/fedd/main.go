@@ -16,6 +16,14 @@
 // lame-duck period elapses, in-flight requests finish, and only then does
 // the process exit. At -log-level debug every dispatched request and span
 // is logged as a structured key=value line.
+//
+// With -data-dir the registry's durable state (slices, slivers, leases,
+// idempotency outcomes) survives restarts: mutations go through a
+// write-ahead log with periodic snapshots, and on startup the daemon
+// recovers to its last durable state before accepting traffic. -fsync
+// selects the durability discipline ("interval", the default, bounds
+// power-loss exposure to -fsync-interval; "always" fsyncs before every
+// acknowledgment); process crashes lose nothing under either policy.
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"fedshare/internal/obs"
 	"fedshare/internal/planetlab"
 	"fedshare/internal/sfa"
+	"fedshare/internal/wal"
 )
 
 func main() {
@@ -46,6 +55,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /readyz on this address (empty = disabled)")
 	drainGrace := flag.Duration("drain-grace", 0, "lame-duck period between flipping /readyz to 503 and draining connections")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, or error")
+	dataDir := flag.String("data-dir", "", "persist durable state (WAL + snapshots) in this directory; empty = memory-only")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval (background, bounded power-loss window) or always (fsync before every acknowledgment)")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync pacing for -fsync interval")
+	snapshotEvery := flag.Int("snapshot-every", 4096, "cut a snapshot and rotate the WAL after this many appends (negative disables)")
 	flag.Parse()
 
 	if *secret == "" {
@@ -81,7 +94,34 @@ func main() {
 	}
 
 	var shuttingDown atomic.Bool
-	srv := sfa.NewServer(auth, []byte(*secret), sfa.WithLogLevel(level))
+	srvOpts := []sfa.Option{sfa.WithLogLevel(level)}
+	var store *sfa.DurableStore
+	var recovered *sfa.State
+	if *dataDir != "" {
+		policy, err := wal.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedd:", err)
+			os.Exit(2)
+		}
+		store, recovered, err = sfa.OpenDurableStore(sfa.DurableOptions{
+			Dir:           *dataDir,
+			Fsync:         policy,
+			FsyncInterval: *fsyncInterval,
+			SnapshotEvery: *snapshotEvery,
+			Logf:          log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("fedd: open data dir %s: %v", *dataDir, err)
+		}
+		srvOpts = append(srvOpts, sfa.WithStore(store))
+		log.Printf("fedd: durable state in %s (fsync=%s)", *dataDir, *fsync)
+	}
+	srv := sfa.NewServer(auth, []byte(*secret), srvOpts...)
+	if recovered != nil {
+		if err := srv.Restore(recovered); err != nil {
+			log.Fatalf("fedd: restore durable state: %v", err)
+		}
+	}
 	if level <= obs.LogDebug {
 		// Route span trace lines through the same log stream as server
 		// diagnostics.
@@ -147,5 +187,11 @@ func main() {
 	log.Printf("fedd: %s shutting down", *name)
 	if err := srv.Close(); err != nil {
 		log.Printf("fedd: close: %v", err)
+	}
+	if store != nil {
+		// Cut a final snapshot so the next start recovers without replay.
+		if err := store.Close(); err != nil {
+			log.Printf("fedd: close data dir: %v", err)
+		}
 	}
 }

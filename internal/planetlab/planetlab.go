@@ -341,6 +341,34 @@ func (a *Authority) AdoptSlice(s *Slice) error {
 	return nil
 }
 
+// RestoreSlivers re-applies placements recovered from a durable log:
+// load is incremented at exactly the recorded nodes, without re-running
+// placement policy or capacity checks — the placements were valid when
+// they were made durable, and recovery must reproduce them bit-for-bit
+// rather than re-decide them.
+func (a *Authority) RestoreSlivers(svs []Sliver) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, sv := range svs {
+		a.load[nodeKey(sv.SiteID, sv.NodeID)]++
+	}
+}
+
+// SlicesSnapshot returns deep copies of all deployed slices, sorted by
+// name, for durable-state capture.
+func (a *Authority) SlicesSnapshot() []*Slice {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*Slice, 0, len(a.slices))
+	for _, s := range a.slices {
+		cp := *s
+		cp.Slivers = append([]Sliver(nil), s.Slivers...)
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Spec.Name < out[j].Spec.Name })
+	return out
+}
+
 // FairShare returns the capacity fraction each sliver on the node currently
 // receives: capacity divided by the number of co-located slivers (1.0 when
 // the node is underloaded). Unknown nodes return 0.

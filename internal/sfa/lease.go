@@ -79,6 +79,58 @@ func (d *dedupTable) size() int {
 	return len(d.entries)
 }
 
+// restore installs an already-completed outcome recovered from durable
+// state. Existing entries win (live traffic may already have re-claimed
+// the key); capacity is enforced exactly as in claim.
+func (d *dedupTable) restore(key string, resp interface{}, errMsg string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[key]; ok {
+		return
+	}
+	e := &dedupEntry{done: make(chan struct{}), resp: resp, errMsg: errMsg}
+	e.complete.Store(true)
+	close(e.done)
+	d.entries[key] = e
+	d.order = append(d.order, key)
+	for len(d.entries) > d.capLimit {
+		evicted := false
+		for i, old := range d.order {
+			if e2, ok := d.entries[old]; ok && e2.complete.Load() {
+				delete(d.entries, old)
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break
+		}
+	}
+}
+
+// snapshot returns the completed entries in insertion (FIFO) order.
+// In-flight entries are skipped: their outcome record has not been
+// appended yet, so a snapshot cut now correctly omits them and the
+// record that follows re-creates them on replay.
+func (d *dedupTable) snapshot() []DedupState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]DedupState, 0, len(d.entries))
+	for _, key := range d.order {
+		e, ok := d.entries[key]
+		if !ok || !e.complete.Load() {
+			continue
+		}
+		ds := DedupState{Key: key, Err: e.errMsg}
+		if rr, ok := e.resp.(*ReserveResponse); ok && rr != nil {
+			ds.Slivers = rr.Slivers
+		}
+		out = append(out, ds)
+	}
+	return out
+}
+
 // --- Leases ---
 
 // leaseKind distinguishes what expiry must undo.
@@ -210,6 +262,28 @@ func (lt *leaseTable) expired(now time.Time) []*serverLease {
 		}
 	}
 	lt.notifyLocked()
+	return out
+}
+
+// install sets a holding directly from recovered durable state,
+// replacing any existing entry for the slice.
+func (lt *leaseTable) install(slice string, kind leaseKind, slivers []planetlab.Sliver, expiry time.Time) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.leases[slice] = &serverLease{slice: slice, kind: kind, expiry: expiry, slivers: slivers}
+	lt.notifyLocked()
+}
+
+// snapshot returns deep copies of every holding (leased or not).
+func (lt *leaseTable) snapshot() []serverLease {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	out := make([]serverLease, 0, len(lt.leases))
+	for _, l := range lt.leases {
+		cp := *l
+		cp.slivers = append([]planetlab.Sliver(nil), l.slivers...)
+		out = append(out, cp)
+	}
 	return out
 }
 

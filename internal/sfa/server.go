@@ -11,6 +11,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,17 @@ type Server struct {
 	dedup   *dedupTable
 	leases  *leaseTable
 	seq     atomic.Uint64 // per-lifecycle nonce for outbound idempotency keys
+	store   Store         // nil = memory-only (the default)
+
+	// durableMu serializes every (state mutation + store append) pair so
+	// the log is a true linearization of execution: replaying a durable
+	// log prefix reproduces exactly the state the server held when that
+	// prefix was its log. It also makes the snapshot cut at an append
+	// boundary consistent — no mutation is half-applied while it is held.
+	// Lock ordering: durableMu is acquired before any of auth.mu,
+	// leases.mu, dedup.mu, or s.mu, and never while holding them; network
+	// calls to peers are never made under durableMu.
+	durableMu sync.Mutex
 
 	mu         sync.Mutex
 	record     AuthorityRecord
@@ -125,6 +137,14 @@ func WithConfig(cfg ServerConfig) Option {
 	return func(s *Server) { s.cfg = cfg.withDefaults() }
 }
 
+// WithStore persists every durable mutation through st before it is
+// acknowledged. The default (no store) keeps the server memory-only with
+// identical behavior. Pair with Restore to reload recovered state before
+// Start.
+func WithStore(st Store) Option {
+	return func(s *Server) { s.store = st }
+}
+
 // NewServer builds a registry for the given authority. secret is the
 // federation trust root shared among peered authorities.
 func NewServer(auth *planetlab.Authority, secret []byte, opts ...Option) *Server {
@@ -147,7 +167,54 @@ func NewServer(auth *planetlab.Authority, secret []byte, opts ...Option) *Server
 	s.metrics = newServerMetrics(s.obsreg)
 	// Delta updates (not Set) so servers sharing a registry aggregate.
 	s.leases.onChange = func(delta int) { s.metrics.leasesActive.Add(float64(delta)) }
+	if s.store != nil {
+		// Snapshots are cut inside Append while durableMu is held, so the
+		// captured state is exactly the state after the appended record.
+		s.store.SetSnapshotSource(s.snapshotState)
+	}
 	return s
+}
+
+// storeLock serializes a mutation+append pair when a store is configured;
+// without one it is free so the memory-only path keeps its concurrency.
+func (s *Server) storeLock() {
+	if s.store != nil {
+		s.durableMu.Lock()
+	}
+}
+
+func (s *Server) storeUnlock() {
+	if s.store != nil {
+		// Cut any due snapshot here — after every append AND side effect
+		// of the region (dedup completion included) — so the captured
+		// state is exactly what replaying the log up to this point yields.
+		if err := s.store.MaybeSnapshot(); err != nil {
+			s.log.Errorf("sfa[%s]: snapshot: %v", s.auth.Name, err)
+		}
+		s.durableMu.Unlock()
+	}
+}
+
+// storeAppend logs one mutation record. Callers hold durableMu (via
+// storeLock) so the log order equals execution order.
+func (s *Server) storeAppend(rec Record) error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Append(rec)
+}
+
+// nextGen draws an idempotency generation and makes the high-water mark
+// durable, so a recovered server never reuses a generation that may have
+// reached a peer inside an outbound idempotency key.
+func (s *Server) nextGen() uint64 {
+	s.storeLock()
+	defer s.storeUnlock()
+	gen := s.seq.Add(1)
+	if err := s.storeAppend(Record{Op: OpGen, Gen: gen}); err != nil {
+		s.log.Errorf("sfa[%s]: wal append (gen %d): %v", s.auth.Name, gen, err)
+	}
+	return gen
 }
 
 // Start begins listening on addr ("127.0.0.1:0" for an ephemeral port) and
@@ -191,8 +258,17 @@ func (s *Server) reapLoop() {
 }
 
 // reapExpiredLeases releases every lease whose TTL has elapsed and returns
-// how many it reaped.
+// how many it reaped. Local effects (freeing slivers, deleting slices) are
+// logged to the durable store under durableMu; remote releases happen
+// afterwards, outside the lock, because they draw generations and make
+// network calls.
 func (s *Server) reapExpiredLeases() int {
+	type pendingRemote struct {
+		slice   string
+		slivers []SliverRecord
+	}
+	var remotes []pendingRemote
+	s.storeLock()
 	expired := s.leases.expired(s.cfg.Now())
 	for _, l := range expired {
 		// expired() already removed these holdings from the table, so a
@@ -204,25 +280,32 @@ func (s *Server) reapExpiredLeases() int {
 			s.log.Infof("sfa[%s]: lease expired for %s: released %d slivers",
 				s.auth.Name, l.slice, len(l.slivers))
 		case leaseSlice:
-			s.expireSlice(l.slice)
+			// Delete the slice exactly as an explicit DeleteSlice would:
+			// local slivers freed now, remote slivers released after the
+			// durable region.
+			if err := s.auth.DeleteSlice(l.slice); err != nil {
+				s.log.Errorf("sfa[%s]: lease expiry of slice %s: %v", s.auth.Name, l.slice, err)
+			}
+			s.mu.Lock()
+			remote := s.remoteRefs[l.slice]
+			delete(s.remoteRefs, l.slice)
+			s.mu.Unlock()
+			remotes = append(remotes, pendingRemote{slice: l.slice, slivers: remote})
+			s.log.Infof("sfa[%s]: slice lease expired: %s", s.auth.Name, l.slice)
 		}
 		s.metrics.leasesExpired.Inc()
+		if err := s.storeAppend(Record{Op: OpExpire, Slice: l.slice, Kind: int(l.kind)}); err != nil {
+			s.log.Errorf("sfa[%s]: wal append (expire %s): %v", s.auth.Name, l.slice, err)
+		}
+	}
+	s.storeUnlock()
+	for _, pr := range remotes {
+		s.releaseRemote(pr.slice, pr.slivers)
+	}
+	if len(expired) > 0 {
+		s.log.Debugf("sfa[%s]: reaper pass released %d expired leases", s.auth.Name, len(expired))
 	}
 	return len(expired)
-}
-
-// expireSlice deletes a leased slice exactly as an explicit DeleteSlice
-// would: local slivers are freed and remote slivers released at peers.
-func (s *Server) expireSlice(name string) {
-	if err := s.auth.DeleteSlice(name); err != nil {
-		s.log.Errorf("sfa[%s]: lease expiry of slice %s: %v", s.auth.Name, name, err)
-	}
-	s.mu.Lock()
-	remote := s.remoteRefs[name]
-	delete(s.remoteRefs, name)
-	s.mu.Unlock()
-	s.releaseRemote(name, remote)
-	s.log.Infof("sfa[%s]: slice lease expired: %s", s.auth.Name, name)
 }
 
 // Addr returns the listening address (valid after Start).
@@ -293,7 +376,10 @@ func (s *Server) Drain() {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	start := time.Now()
 	if !already {
+		s.log.Infof("sfa[%s]: drain started: %d open connections, %d active holdings",
+			s.auth.Name, len(conns), s.leases.active())
 		if ln != nil {
 			_ = ln.Close()
 		}
@@ -305,6 +391,10 @@ func (s *Server) Drain() {
 		}
 	}
 	s.wg.Wait()
+	if !already {
+		s.log.Infof("sfa[%s]: drain complete in %s", s.auth.Name,
+			time.Since(start).Round(time.Millisecond))
+	}
 }
 
 // Draining reports whether Drain has been initiated.
@@ -567,19 +657,25 @@ func (s *Server) handleReserve(p ReserveRequest) (*ReserveResponse, error) {
 		}
 		entry = e
 	}
+	s.storeLock()
 	resp, err := s.reserveLocked(p)
 	if entry != nil {
 		msg := ""
 		if err != nil {
 			msg = err.Error()
 		}
+		// Finish inside the durable region: any snapshot cut by a later
+		// append (which must wait for durableMu) already sees this entry
+		// completed, so a snapshot never silently drops a logged outcome.
 		entry.finish(resp, msg)
 	}
+	s.storeUnlock()
 	return resp, err
 }
 
 // reserveLocked performs the actual placement (exactly once per
-// idempotency key).
+// idempotency key) and makes it durable. Caller holds durableMu via
+// storeLock.
 func (s *Server) reserveLocked(p ReserveRequest) (*ReserveResponse, error) {
 	candidates := s.auth.AvailableSites(p.PerSite)
 	if len(candidates) > p.Sites {
@@ -593,21 +689,32 @@ func (s *Server) reserveLocked(p ReserveRequest) (*ReserveResponse, error) {
 		}
 		placed = append(placed, svs...)
 	}
+	var expiry time.Time
 	if len(placed) > 0 {
 		// Track every holding, leased (TTL set, zero expiry means held
 		// indefinitely) or not, so Release can free exactly the slivers
 		// still held here and nothing else.
-		var expiry time.Time
 		if p.TTLSeconds > 0 {
 			expiry = s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
 		}
 		s.leases.add(p.SliceName, leaseReserve, placed, expiry)
 	}
-	resp := &ReserveResponse{}
-	for _, sv := range placed {
-		resp.Slivers = append(resp.Slivers, SliverRecord{
-			Authority: s.auth.Name, SiteID: sv.SiteID, NodeID: sv.NodeID,
-		})
+	resp := &ReserveResponse{Slivers: toRecords(s.auth.Name, placed)}
+	if s.store != nil && (len(placed) > 0 || p.IdempotencyKey != "") {
+		rec := Record{Op: OpReserve, Slice: p.SliceName, Slivers: resp.Slivers}
+		if p.IdempotencyKey != "" {
+			rec.Key = "reserve:" + p.IdempotencyKey
+		}
+		if !expiry.IsZero() {
+			rec.Expiry = expiry.UnixNano()
+		}
+		if aerr := s.storeAppend(rec); aerr != nil {
+			// The memory state must never run ahead of the log: undo the
+			// placement so the client's retry re-executes against state the
+			// log can actually reproduce.
+			s.auth.ReleaseSlivers(s.leases.trim(p.SliceName, placed))
+			return nil, fmt.Errorf("durable log append: %v", aerr)
+		}
 	}
 	return resp, nil
 }
@@ -647,10 +754,25 @@ func (s *Server) handleRelease(p ReleaseRequest) (*Empty, error) {
 	// decrement would free capacity still held by other slices. Trimming
 	// also settles the lease so released slivers are not re-freed at
 	// expiry.
-	s.auth.ReleaseSlivers(s.leases.trim(p.SliceName, svs))
+	s.storeLock()
+	removed := s.leases.trim(p.SliceName, svs)
+	s.auth.ReleaseSlivers(removed)
+	if s.store != nil && (len(removed) > 0 || p.IdempotencyKey != "") {
+		rec := Record{Op: OpRelease, Slice: p.SliceName, Slivers: toRecords(s.auth.Name, removed)}
+		if p.IdempotencyKey != "" {
+			rec.Key = "release:" + p.IdempotencyKey
+		}
+		if aerr := s.storeAppend(rec); aerr != nil {
+			// A release cannot be undone without re-placing, so prefer
+			// availability: the worst a lost release record costs is
+			// capacity held until the lease TTL reaps it after recovery.
+			s.log.Errorf("sfa[%s]: wal append (release %s): %v", s.auth.Name, p.SliceName, aerr)
+		}
+	}
 	if entry != nil {
 		entry.finish(&Empty{}, "")
 	}
+	s.storeUnlock()
 	return &Empty{}, nil
 }
 
@@ -711,7 +833,7 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 	// draws a fresh generation and executes anew instead of replaying this
 	// lifecycle's cached outcome — including cached errors, which would
 	// otherwise poison the slice name at that peer forever.
-	gen := s.seq.Add(1)
+	gen := s.nextGen()
 	for _, ph := range s.peerList() {
 		need := 1 << 20 // effectively unbounded
 		if maxSites > 0 {
@@ -751,7 +873,9 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 		Spec:    planetlab.SliceSpec{Name: p.Name, Owner: p.Owner, MinSites: p.MinSites, MaxSites: p.MaxSites, SliversPerSite: per},
 		Slivers: localSlivers,
 	}
+	s.storeLock()
 	if err := s.auth.AdoptSlice(slice); err != nil {
+		s.storeUnlock()
 		abort()
 		return nil, err
 	}
@@ -763,12 +887,39 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 		s.usage[sv.Authority]++
 	}
 	s.mu.Unlock()
+	var expiry time.Time
 	if p.TTLSeconds > 0 {
 		// Lease the whole slice for the experiment's holding time; the
 		// reaper deletes it (and releases remote slivers) at expiry.
-		expiry := s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
+		expiry = s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
 		s.leases.add(p.Name, leaseSlice, nil, expiry)
 	}
+	if s.store != nil {
+		rec := Record{Op: OpCreateSlice, Slice: p.Name, Spec: specState(slice.Spec),
+			Slivers: toRecords(s.auth.Name, localSlivers), Remote: remote}
+		if !expiry.IsZero() {
+			rec.Expiry = expiry.UnixNano()
+		}
+		if aerr := s.storeAppend(rec); aerr != nil {
+			// Undo the commit so memory never acknowledges state the log
+			// lost: delete the slice (frees local slivers), drop the lease
+			// and refs, then release remote slivers outside the lock.
+			_ = s.auth.DeleteSlice(p.Name)
+			s.leases.remove(p.Name)
+			s.mu.Lock()
+			delete(s.remoteRefs, p.Name)
+			s.embedded--
+			s.usage[s.auth.Name] -= len(localSlivers)
+			for _, sv := range remote {
+				s.usage[sv.Authority]--
+			}
+			s.mu.Unlock()
+			s.storeUnlock()
+			s.releaseRemote(p.Name, remote)
+			return nil, fmt.Errorf("durable log append: %v", aerr)
+		}
+	}
+	s.storeUnlock()
 
 	resp := &SliceResponse{Name: p.Name, Sites: sitesGot}
 	for _, sv := range localSlivers {
@@ -784,7 +935,9 @@ func (s *Server) handleDeleteSlice(p DeleteRequest) (*Empty, error) {
 	if err := s.verify(p.Credential); err != nil {
 		return nil, err
 	}
+	s.storeLock()
 	if err := s.auth.DeleteSlice(p.Name); err != nil {
+		s.storeUnlock()
 		return nil, err
 	}
 	s.leases.remove(p.Name)
@@ -792,6 +945,12 @@ func (s *Server) handleDeleteSlice(p DeleteRequest) (*Empty, error) {
 	remote := s.remoteRefs[p.Name]
 	delete(s.remoteRefs, p.Name)
 	s.mu.Unlock()
+	if aerr := s.storeAppend(Record{Op: OpDeleteSlice, Slice: p.Name}); aerr != nil {
+		// The deletion is not undoable; a lost delete record at worst
+		// resurrects the slice at recovery until its lease expires.
+		s.log.Errorf("sfa[%s]: wal append (delete %s): %v", s.auth.Name, p.Name, aerr)
+	}
+	s.storeUnlock()
 	s.releaseRemote(p.Name, remote)
 	return &Empty{}, nil
 }
@@ -809,7 +968,7 @@ func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
 	// Fresh generation per invocation: retries of each Release below share
 	// a key, but a later lifecycle's release of a recreated slice name is
 	// never swallowed by this one's cached outcome.
-	gen := s.seq.Add(1)
+	gen := s.nextGen()
 	for name, svs := range byPeer {
 		s.mu.Lock()
 		ph := s.peers[name]
@@ -958,6 +1117,108 @@ func (s *Server) handleUsage() *UsageResponse {
 		}
 	}
 	return resp
+}
+
+// snapshotState captures the server's full durable state in canonical
+// order. When a store is configured it is invoked at append boundaries
+// (under durableMu), so the capture is a consistent cut.
+func (s *Server) snapshotState() State {
+	st := State{Seq: s.seq.Load()}
+	slices := s.auth.SlicesSnapshot()
+	s.mu.Lock()
+	st.Embedded = s.embedded
+	usage := map[string]int{}
+	for name, n := range s.usage {
+		if n != 0 {
+			usage[name] = n
+		}
+	}
+	if len(usage) > 0 {
+		st.Usage = usage
+	}
+	remoteRefs := make(map[string][]SliverRecord, len(s.remoteRefs))
+	for name, svs := range s.remoteRefs {
+		remoteRefs[name] = append([]SliverRecord(nil), svs...)
+	}
+	s.mu.Unlock()
+	for _, sl := range slices {
+		st.Slices = append(st.Slices, SliceState{
+			Spec:   *specState(sl.Spec),
+			Local:  toRecords(s.auth.Name, sl.Slivers),
+			Remote: remoteRefs[sl.Spec.Name],
+		})
+	}
+	for _, l := range s.leases.snapshot() {
+		ls := LeaseState{Slice: l.slice, Kind: int(l.kind),
+			Slivers: toRecords(s.auth.Name, l.slivers)}
+		if !l.expiry.IsZero() {
+			ls.Expiry = l.expiry.UnixNano()
+		}
+		st.Leases = append(st.Leases, ls)
+	}
+	st.Dedup = s.dedup.snapshot()
+	st.canonicalize()
+	return st
+}
+
+// Restore loads recovered durable state into a freshly built server. It
+// must run before Start, while nothing else touches the server. Lease
+// expiries are absolute timestamps, so holdings that expired during the
+// outage are reaped on the first reaper tick after Start rather than
+// silently resurrected.
+func (s *Server) Restore(st *State) error {
+	if st == nil {
+		return nil
+	}
+	s.seq.Store(st.Seq)
+	for _, sl := range st.Slices {
+		slivers := toSlivers(sl.Spec.Name, sl.Local)
+		// Re-apply the recorded placements (node load), then re-adopt the
+		// slice so DeleteSlice frees them again.
+		s.auth.RestoreSlivers(slivers)
+		if err := s.auth.AdoptSlice(&planetlab.Slice{Spec: sl.Spec.spec(), Slivers: slivers}); err != nil {
+			return fmt.Errorf("sfa: restore slice %s: %w", sl.Spec.Name, err)
+		}
+		if len(sl.Remote) > 0 {
+			s.mu.Lock()
+			s.remoteRefs[sl.Spec.Name] = sl.Remote
+			s.mu.Unlock()
+		}
+	}
+	s.mu.Lock()
+	s.embedded = st.Embedded
+	for name, n := range st.Usage {
+		s.usage[name] = n
+	}
+	s.mu.Unlock()
+	for _, l := range st.Leases {
+		slivers := toSlivers(l.Slice, l.Slivers)
+		if leaseKind(l.Kind) == leaseReserve {
+			// Reserve holdings carry their own placements; slice leases'
+			// slivers were restored with the slice above.
+			s.auth.RestoreSlivers(slivers)
+		}
+		var expiry time.Time
+		if l.Expiry != 0 {
+			expiry = time.Unix(0, l.Expiry)
+		}
+		s.leases.install(l.Slice, leaseKind(l.Kind), slivers, expiry)
+	}
+	for _, e := range st.Dedup {
+		var resp interface{}
+		switch {
+		case e.Err != "":
+			// Cached failures replay as errors; the response value is unused.
+		case strings.HasPrefix(e.Key, "release:"):
+			resp = &Empty{}
+		default:
+			resp = &ReserveResponse{Slivers: e.Slivers}
+		}
+		s.dedup.restore(e.Key, resp, e.Err)
+	}
+	s.log.Infof("sfa[%s]: restored durable state: %d slices, %d leases, %d dedup keys, seq %d",
+		s.auth.Name, len(st.Slices), len(st.Leases), len(st.Dedup), st.Seq)
+	return nil
 }
 
 // PeerWith initiates peering with a remote registry at addr: it dials,

@@ -1,0 +1,44 @@
+package wal
+
+import "fedshare/internal/obs"
+
+// walMetrics bundles the log's instrumentation. Registration is
+// idempotent, so any number of logs can share one registry; counters
+// aggregate across them.
+type walMetrics struct {
+	appends         *obs.Counter   // fedshare_wal_appends_total
+	appendSeconds   *obs.Histogram // fedshare_wal_append_seconds
+	fsyncs          *obs.Counter   // fedshare_wal_fsyncs_total
+	fsyncSeconds    *obs.Histogram // fedshare_wal_fsync_seconds
+	snapshots       *obs.Counter   // fedshare_wal_snapshots_total
+	snapshotSeconds *obs.Histogram // fedshare_wal_snapshot_seconds
+	recoveries      *obs.Counter   // fedshare_wal_recoveries_total
+	replayed        *obs.Counter   // fedshare_wal_replayed_records_total
+	tornBytes       *obs.Counter   // fedshare_wal_torn_bytes_total
+}
+
+func newWALMetrics(r *obs.Registry) *walMetrics {
+	// Append and fsync latencies sit well below the default request
+	// buckets: start at 1µs so the interesting range is resolved.
+	buckets := obs.ExpBuckets(1e-6, 4, 12)
+	return &walMetrics{
+		appends: r.Counter("fedshare_wal_appends_total",
+			"Records appended to the write-ahead log."),
+		appendSeconds: r.Histogram("fedshare_wal_append_seconds",
+			"Write-ahead log append latency (excluding per-record fsync).", buckets),
+		fsyncs: r.Counter("fedshare_wal_fsyncs_total",
+			"fsync calls issued by the write-ahead log."),
+		fsyncSeconds: r.Histogram("fedshare_wal_fsync_seconds",
+			"Write-ahead log fsync latency.", buckets),
+		snapshots: r.Counter("fedshare_wal_snapshots_total",
+			"State snapshots written (each also rotates the log)."),
+		snapshotSeconds: r.Histogram("fedshare_wal_snapshot_seconds",
+			"Snapshot write + log rotation latency.", nil),
+		recoveries: r.Counter("fedshare_wal_recoveries_total",
+			"Times a log was opened and recovered from disk."),
+		replayed: r.Counter("fedshare_wal_replayed_records_total",
+			"Records replayed from the log suffix during recovery."),
+		tornBytes: r.Counter("fedshare_wal_torn_bytes_total",
+			"Torn or corrupt tail bytes discarded during recovery."),
+	}
+}
