@@ -10,15 +10,29 @@
 //	fedctl metrics 127.0.0.1:9090
 //	fedctl status 127.0.0.1:9090
 //	fedctl scenarios
+//	fedctl submit -wait 127.0.0.1:9090 examples/scenarios/hetero5.json
+//	fedctl submit -fig fig4 127.0.0.1:9090
+//	fedctl runs 127.0.0.1:9090
+//	fedctl result 127.0.0.1:9090 run-000001
+//	fedctl cancel 127.0.0.1:9090 run-000001
+//
+// The submit/runs/result/cancel commands drive a fedd started with -api:
+// experiments execute inside the daemon's scenario engine, and fedctl is a
+// thin client of the same HTTP/JSON API the dashboard uses. submit prints
+// the run id on stdout (status goes to stderr), so scripts can capture it;
+// status and runs exit nonzero when the daemon is unreachable or not
+// ready, so CI can gate on them instead of grepping output.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	// Imported for its init-time registration of the paper-figure scenarios,
@@ -61,6 +75,23 @@ func main() {
 		if err := printStatus(args[1]); err != nil {
 			fail(err)
 		}
+		return
+	}
+
+	// The scenario-API commands are HTTP clients of a fedd -api daemon:
+	// experiments execute in the daemon's engine, not in this process.
+	switch args[0] {
+	case "submit":
+		cmdSubmit(args[1:])
+		return
+	case "runs":
+		cmdRuns(args[1:])
+		return
+	case "result":
+		cmdResult(args[1:])
+		return
+	case "cancel":
+		cmdCancel(args[1:])
 		return
 	}
 
@@ -192,9 +223,10 @@ func main() {
 }
 
 // printStatus probes a daemon's liveness and readiness endpoints with the
-// same transient retry as the metrics command and reports both. It fails
-// (non-zero exit) when the daemon is unreachable or not ready, so scripts
-// can gate on `fedctl status`.
+// same transient retry as the metrics command and reports both, plus the
+// daemon's build identification from /version. It fails (non-zero exit)
+// when the daemon is unreachable or not ready, so scripts can gate on
+// `fedctl status`.
 func printStatus(addr string) error {
 	probe := func(path string) (string, bool, error) {
 		resp, err := fetchWithRetry(addr, path)
@@ -212,11 +244,261 @@ func printStatus(addr string) error {
 	if err != nil {
 		return fmt.Errorf("readyz: %w", err)
 	}
-	fmt.Printf("healthz: %s\nreadyz:  %s\n", health, ready)
+	fmt.Printf("healthz: %s\nreadyz:  %s\nversion: %s\n", health, ready, versionLine(addr))
 	if !alive || !isReady {
 		return fmt.Errorf("daemon at %s is not ready", addr)
 	}
 	return nil
+}
+
+// versionLine renders a daemon's /version document on one line. Probe
+// failure degrades to "unknown" — status's exit code reflects health, not
+// whether the daemon predates the version endpoint.
+func versionLine(addr string) string {
+	resp, err := fetchWithRetry(addr, "/version")
+	if err != nil {
+		return "unknown"
+	}
+	defer resp.Body.Close()
+	var v obs.BuildInfo
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&v) != nil {
+		return "unknown"
+	}
+	parts := []string{v.Module, v.Version, v.Go}
+	if v.Revision != "" {
+		rev := v.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if v.Dirty {
+			rev += "+dirty"
+		}
+		parts = append(parts, rev)
+	}
+	var kept []string
+	for _, p := range parts {
+		if p != "" {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return "unknown"
+	}
+	return strings.Join(kept, " ")
+}
+
+// apiError decodes a non-200 scenario-API response's structured error
+// document into a Go error.
+func apiError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s", resp.Status)
+}
+
+// runView mirrors the API's run document (api.RunJSON).
+type runView struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	State    string `json:"state"`
+	Progress struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	} `json:"progress"`
+	Error          string  `json:"error"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// terminal reports whether the run has finished (any way).
+func (r runView) terminal() bool {
+	switch r.State {
+	case "done", "failed", "cancelled":
+		return true
+	}
+	return false
+}
+
+// getRun fetches one run's state.
+func getRun(addr, id string) (runView, error) {
+	resp, err := fetchWithRetry(addr, "/api/v1/runs/"+id)
+	if err != nil {
+		return runView{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return runView{}, apiError(resp)
+	}
+	defer resp.Body.Close()
+	var r runView
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return runView{}, fmt.Errorf("decode run: %w", err)
+	}
+	return r, nil
+}
+
+// cmdSubmit posts a spec file (or a registered scenario id with -fig) to a
+// fedd -api daemon. The run id is printed on stdout — and nothing else —
+// so scripts can capture it; with -wait the command polls the run to a
+// terminal state and exits nonzero unless it completed.
+func cmdSubmit(args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	fig := fs.String("fig", "", "submit a registered scenario id instead of a spec file")
+	wait := fs.Bool("wait", false, "poll until the run finishes; exit nonzero unless it completes")
+	timeout := fs.Duration("timeout", 15*time.Minute, "polling deadline for -wait")
+	_ = fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) < 1 || (*fig == "") == (len(rest) < 2) {
+		fmt.Fprintln(os.Stderr, "usage: fedctl submit [-fig id | spec.json after addr] [-wait] <metrics-addr> [spec.json]")
+		os.Exit(2)
+	}
+	addr := rest[0]
+
+	url := "http://" + addr + "/api/v1/runs"
+	var body io.Reader
+	if *fig != "" {
+		url += "?scenario=" + *fig
+	} else {
+		data, err := os.ReadFile(rest[1])
+		if err != nil {
+			fail(err)
+		}
+		body = strings.NewReader(string(data))
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	resp, err := httpc.Post(url, "application/json", body)
+	if err != nil {
+		fail(fmt.Errorf("submit: %w", err))
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		fail(apiError(resp))
+	}
+	var r runView
+	err = json.NewDecoder(resp.Body).Decode(&r)
+	resp.Body.Close()
+	if err != nil {
+		fail(fmt.Errorf("decode run: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "submitted %s as %s\n", r.Scenario, r.ID)
+	fmt.Println(r.ID)
+	if !*wait {
+		return
+	}
+	deadline := time.Now().Add(*timeout)
+	for {
+		if time.Now().After(deadline) {
+			fail(fmt.Errorf("run %s still %s after %s", r.ID, r.State, *timeout))
+		}
+		r, err = getRun(addr, r.ID)
+		if err != nil {
+			fail(err)
+		}
+		if r.terminal() {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if r.State != "done" {
+		fail(fmt.Errorf("run %s %s: %s", r.ID, r.State, r.Error))
+	}
+	fmt.Fprintf(os.Stderr, "run %s done in %.2fs\n", r.ID, r.ElapsedSeconds)
+}
+
+// cmdRuns lists a daemon's run table. Like status it gates: unreachable or
+// not-ready daemons exit nonzero before the table is even fetched.
+func cmdRuns(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fedctl runs <metrics-addr>")
+		os.Exit(2)
+	}
+	addr := args[0]
+	ready, err := fetchWithRetry(addr, "/readyz")
+	if err != nil {
+		fail(fmt.Errorf("readyz: %w", err))
+	}
+	ready.Body.Close()
+	if ready.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("daemon at %s is not ready (%s)", addr, ready.Status))
+	}
+	resp, err := fetchWithRetry(addr, "/api/v1/runs")
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail(apiError(resp))
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Runs []runView `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		fail(fmt.Errorf("decode runs: %w", err))
+	}
+	if len(list.Runs) == 0 {
+		fmt.Println("no runs")
+		return
+	}
+	fmt.Printf("%-12s %-14s %-10s %-12s %s\n", "id", "scenario", "state", "progress", "elapsed")
+	for _, r := range list.Runs {
+		progress := "-"
+		if r.Progress.Total > 0 {
+			progress = fmt.Sprintf("%d/%d", r.Progress.Done, r.Progress.Total)
+		}
+		elapsed := ""
+		if r.ElapsedSeconds > 0 {
+			elapsed = fmt.Sprintf("%.2fs", r.ElapsedSeconds)
+		}
+		fmt.Printf("%-12s %-14s %-10s %-12s %s\n", r.ID, r.Scenario, r.State, progress, elapsed)
+	}
+}
+
+// cmdResult streams a completed run's result JSON to stdout — the exact
+// bytes the API serves, so output diffs clean against fedsim -result-json.
+func cmdResult(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fedctl result <metrics-addr> <run-id>")
+		os.Exit(2)
+	}
+	resp, err := fetchWithRetry(args[0], "/api/v1/runs/"+args[1]+"/result")
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail(apiError(resp))
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fail(err)
+	}
+}
+
+// cmdCancel cancels a queued or running run.
+func cmdCancel(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: fedctl cancel <metrics-addr> <run-id>")
+		os.Exit(2)
+	}
+	req, err := http.NewRequest(http.MethodDelete,
+		"http://"+args[0]+"/api/v1/runs/"+args[1], nil)
+	if err != nil {
+		fail(err)
+	}
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail(apiError(resp))
+	}
+	defer resp.Body.Close()
+	var r runView
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		fail(fmt.Errorf("decode run: %w", err))
+	}
+	fmt.Printf("run %s %s\n", r.ID, r.State)
 }
 
 // printMetrics fetches a daemon's JSON metrics snapshot and renders it as
@@ -308,8 +590,15 @@ commands:
   shares [-policy shapley|proportional|consumption|equal|nucleolus|banzhaf]
   usage
   metrics <metrics-addr>    fetch and render a daemon's /metrics.json snapshot
-  status <metrics-addr>     probe a daemon's /healthz and /readyz (non-zero exit if not ready)
-  scenarios                 list the registered scenario specs (run with fedsim)`)
+  status <metrics-addr>     probe /healthz, /readyz and /version (non-zero exit if not ready)
+  scenarios                 list the registered scenario specs (run with fedsim)
+  submit [-fig id] [-wait] <metrics-addr> [spec.json]
+                            submit an experiment to a fedd -api daemon (prints the run id)
+  runs <metrics-addr>       list the daemon's run table (non-zero exit if not ready)
+  result <metrics-addr> <run-id>
+                            print a completed run's result JSON
+  cancel <metrics-addr> <run-id>
+                            cancel a queued or running run`)
 	os.Exit(2)
 }
 

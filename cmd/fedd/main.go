@@ -24,6 +24,13 @@
 // selects the durability discipline ("interval", the default, bounds
 // power-loss exposure to -fsync-interval; "always" fsyncs before every
 // acknowledgment); process crashes lose nothing under either policy.
+//
+// With -api (requires -metrics-addr) the daemon also serves experiments:
+// the scenario engine runs declarative specs asynchronously behind an
+// HTTP/JSON API (POST /api/v1/runs, GET /api/v1/runs[/{id}[/result]],
+// DELETE to cancel, GET /api/v1/scenarios for the registered figure set)
+// with an embedded zero-dependency dashboard at /. -api-concurrency bounds
+// how many experiments execute at once; submissions beyond it queue.
 package main
 
 import (
@@ -38,8 +45,14 @@ import (
 	"syscall"
 	"time"
 
+	// Registers the paper-figure scenarios, so the served API and dashboard
+	// expose the same registry fedsim runs.
+	_ "fedshare/internal/figures"
+
 	"fedshare/internal/obs"
 	"fedshare/internal/planetlab"
+	"fedshare/internal/scenario/api"
+	"fedshare/internal/scenario/engine"
 	"fedshare/internal/sfa"
 	"fedshare/internal/wal"
 )
@@ -52,7 +65,9 @@ func main() {
 	capacity := flag.Int("capacity", 10, "sliver capacity per node")
 	secret := flag.String("secret", "", "shared federation secret (required)")
 	peer := flag.String("peer", "", "optional peer registry address to federate with at startup")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /readyz on this address (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz, /readyz and /version on this address (empty = disabled)")
+	apiEnabled := flag.Bool("api", false, "serve the scenario API and dashboard on the metrics address (requires -metrics-addr)")
+	apiConcurrency := flag.Int("api-concurrency", 2, "how many submitted experiments execute simultaneously (further submissions queue)")
 	drainGrace := flag.Duration("drain-grace", 0, "lame-duck period between flipping /readyz to 503 and draining connections")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, or error")
 	dataDir := flag.String("data-dir", "", "persist durable state (WAL + snapshots) in this directory; empty = memory-only")
@@ -72,6 +87,14 @@ func main() {
 	}
 	if *sites < 0 || *nodes <= 0 || *capacity <= 0 {
 		fmt.Fprintln(os.Stderr, "fedd: sites must be >= 0, nodes and capacity positive")
+		os.Exit(2)
+	}
+	if *apiEnabled && *metricsAddr == "" {
+		fmt.Fprintln(os.Stderr, "fedd: -api requires -metrics-addr (the API shares its listener)")
+		os.Exit(2)
+	}
+	if *apiConcurrency <= 0 {
+		fmt.Fprintln(os.Stderr, "fedd: -api-concurrency must be positive")
 		os.Exit(2)
 	}
 
@@ -132,6 +155,7 @@ func main() {
 	}
 	log.Printf("fedd: %s serving %d sites on %s", *name, *sites, srv.Addr())
 
+	var eng *engine.Engine
 	if *metricsAddr != "" {
 		obs.RegisterRuntimeMetrics(obs.Default)
 		mln, err := net.Listen("tcp", *metricsAddr)
@@ -139,13 +163,18 @@ func main() {
 			log.Fatalf("fedd: metrics listen %s: %v", *metricsAddr, err)
 		}
 		log.Printf("fedd: metrics on http://%s/metrics", mln.Addr())
+		// /readyz flips to 503 the moment shutdown begins, so an
+		// orchestrator stops routing before the listener goes away.
+		mux := obs.HandlerWithHealth(func() bool {
+			return !shuttingDown.Load() && !srv.Draining()
+		})
+		if *apiEnabled {
+			eng = engine.New(engine.Options{MaxConcurrent: *apiConcurrency})
+			api.NewServer(eng).Register(mux)
+			log.Printf("fedd: scenario API and dashboard on http://%s/", mln.Addr())
+		}
 		go func() {
-			// /readyz flips to 503 the moment shutdown begins, so an
-			// orchestrator stops routing before the listener goes away.
-			handler := obs.HandlerWithHealth(func() bool {
-				return !shuttingDown.Load() && !srv.Draining()
-			})
-			if err := http.Serve(mln, handler); err != nil {
+			if err := http.Serve(mln, mux); err != nil {
 				log.Printf("fedd: metrics server: %v", err)
 			}
 		}()
@@ -185,6 +214,11 @@ func main() {
 		log.Printf("fedd: %s forced shutdown", *name)
 	}
 	log.Printf("fedd: %s shutting down", *name)
+	if eng != nil {
+		// Cancel in-flight experiments and wait for their goroutines; their
+		// runs end in the cancelled state rather than being torn mid-sweep.
+		eng.Close()
+	}
 	if err := srv.Close(); err != nil {
 		log.Printf("fedd: close: %v", err)
 	}

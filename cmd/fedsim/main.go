@@ -17,9 +17,17 @@
 //	fedsim -weights                      # offline Shapley weight table (Sec. 3.2.3)
 //	fedsim -scenario spec.json -approx -ci-target 0.01 -seed 7
 //	                                     # force the sampling Shapley engine
+//	fedsim -scenario spec.json -result-json
+//	                                     # emit the result document (the
+//	                                     # same bytes the served API returns)
+//
+// Execution goes through the scenario engine (internal/scenario/engine) —
+// the same run table and executor a fedd -api daemon serves over HTTP —
+// with fedsim as a one-shot synchronous client of it.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +46,7 @@ import (
 	"fedshare/internal/obs"
 	"fedshare/internal/policy"
 	"fedshare/internal/scenario"
+	"fedshare/internal/scenario/engine"
 	"fedshare/internal/sweep"
 )
 
@@ -69,6 +78,7 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0, "parallel workers for figure/parameter sweeps (0 = all cores, 1 = sequential)")
 	verbose := flag.Bool("v", false, "print per-figure wall-clock and allocation-memo hit-rate summaries")
 	jsonOut := flag.Bool("json", false, "suppress tables and emit a JSON run summary (per-figure timings + obs metrics snapshot)")
+	resultJSON := flag.Bool("result-json", false, "suppress tables and emit each result document as JSON (byte-identical to the served API's /result endpoint)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	approx := flag.Bool("approx", false, "force the sampling Shapley engine (spec method \"approx\") for spec-backed scenarios")
@@ -133,9 +143,18 @@ func main() {
 		}
 	}()
 
+	if *jsonOut && *resultJSON {
+		fmt.Fprintln(os.Stderr, "fedsim: -json and -result-json are mutually exclusive")
+		os.Exit(2)
+	}
+	// One experiment at a time, like the old in-process path; each run's
+	// sweep still fans out on the worker pool.
+	eng := engine.New(engine.Options{MaxConcurrent: 1})
+	defer eng.Close()
 	run := runConfig{
+		eng:   eng,
 		chart: *chart, width: *width, height: *height,
-		verbose: *verbose, jsonOut: *jsonOut,
+		verbose: *verbose, jsonOut: *jsonOut, resultJSON: *resultJSON,
 		approx: approxOverrides{
 			force: *approx, samples: *samples, ciTarget: *ciTarget, seed: *seed,
 		},
@@ -189,12 +208,16 @@ func writeScenarioList(w io.Writer) {
 	}
 }
 
-// runConfig carries output options and accumulates the -json summary.
+// runConfig carries output options and accumulates the -json summary. All
+// execution goes through the engine, so fedsim exercises exactly the run
+// path a serving daemon does.
 type runConfig struct {
+	eng           *engine.Engine
 	chart         bool
 	width, height int
 	verbose       bool
 	jsonOut       bool
+	resultJSON    bool
 	approx        approxOverrides
 	figureSummary []figureSummary
 }
@@ -269,13 +292,13 @@ func (rc *runConfig) figure(id string) error {
 			return nil, err
 		}
 		if e.Spec == nil || !rc.approx.active() {
-			return e.Run()
+			return rc.eng.RunEntry(context.Background(), e)
 		}
 		spec, err := rc.approx.apply(e.Spec)
 		if err != nil {
 			return nil, err
 		}
-		return scenario.Run(spec)
+		return rc.eng.Run(context.Background(), spec)
 	})
 }
 
@@ -295,7 +318,7 @@ func (rc *runConfig) scenarioFile(path string) error {
 		return fmt.Errorf("%s: %w", path, err)
 	}
 	return rc.render("fedsim.scenario", "scenario", spec.ID, func() (*figures.Figure, error) {
-		return scenario.Run(spec)
+		return rc.eng.Run(context.Background(), spec)
 	})
 }
 
@@ -317,6 +340,14 @@ func (rc *runConfig) render(span, attr, id string, gen func() (*figures.Figure, 
 	stepsAfter, fallbacksAfter := allocation.PrefixCounters()
 	steps := stepsAfter - stepsBefore
 	fallbacks := fallbacksAfter - fallbacksBefore
+	if rc.resultJSON {
+		out, err := f.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(out)
+		return err
+	}
 	if rc.jsonOut {
 		rc.figureSummary = append(rc.figureSummary, figureSummary{
 			ID: f.ID, Title: f.Title, WallClockNS: elapsed.Nanoseconds(),

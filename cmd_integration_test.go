@@ -258,3 +258,80 @@ func TestCLIFedsim(t *testing.T) {
 		t.Error("unknown figure should exit non-zero")
 	}
 }
+
+// TestCLIServedExperiments drives the scenario service plane end to end:
+// fedd -api serves the engine over HTTP, fedctl submits a spec file and
+// streams back the result, and the bytes match what fedsim produces for the
+// same spec in-process — the contract the CI api-smoke job also enforces.
+func TestCLIServedExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skip in -short mode")
+	}
+	fedd, fedctl, fedsim := buildTools(t)
+	addr, maddr := freePort(t), freePort(t)
+
+	d := exec.Command(fedd, "-name", "PLC", "-listen", addr,
+		"-sites", "2", "-nodes", "1", "-capacity", "2", "-secret", "it",
+		"-metrics-addr", maddr, "-api")
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Process.Kill(); _, _ = d.Process.Wait() }()
+	waitReachable(t, addr)
+	waitReachable(t, maddr)
+
+	// fedctl status against the API address succeeds and reports a version.
+	out := run(t, fedctl, "status", maddr)
+	if !strings.Contains(out, "ready") || !strings.Contains(out, "version:") {
+		t.Errorf("status: %q", out)
+	}
+
+	spec := "examples/scenarios/hetero5.json"
+	// Submit and wait; stdout carries the bare run id (progress goes to
+	// stderr), so scripts can pipe it straight into result/cancel.
+	stdout := func(bin string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		var sb, eb strings.Builder
+		cmd.Stdout, cmd.Stderr = &sb, &eb
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, eb.String())
+		}
+		return sb.String()
+	}
+	id := strings.TrimSpace(stdout(fedctl, "submit", "-wait", maddr, spec))
+	if id == "" {
+		t.Fatal("fedctl submit printed no run id")
+	}
+
+	// The run table lists it as done.
+	out = run(t, fedctl, "runs", maddr)
+	if !strings.Contains(out, id) || !strings.Contains(out, "done") {
+		t.Errorf("runs: %q", out)
+	}
+
+	apiJSON := stdout(fedctl, "result", maddr, id)
+	cliJSON := stdout(fedsim, "-scenario", spec, "-result-json")
+	if apiJSON != cliJSON {
+		t.Errorf("API result differs from fedsim -result-json (%d vs %d bytes)",
+			len(apiJSON), len(cliJSON))
+	}
+
+	// The dashboard is served from the same listener.
+	httpc := &http.Client{Timeout: 2 * time.Second}
+	resp, err := httpc.Get("http://" + maddr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "fedshare") {
+		t.Errorf("dashboard: %d %q", resp.StatusCode, body)
+	}
+
+	// Cancelling a finished run exits non-zero (409 from the API).
+	cancel := exec.Command(fedctl, "cancel", maddr, id)
+	if err := cancel.Run(); err == nil {
+		t.Error("cancelling a finished run should exit non-zero")
+	}
+}

@@ -132,12 +132,17 @@ func (r *Registry) Handler() http.Handler {
 	return r.HandlerWithHealth(nil)
 }
 
-// HandlerWithHealth is Handler plus orchestration probes: /healthz always
-// answers 200 (the process is alive), while /readyz answers 200 only while
-// ready() is true and 503 otherwise — a draining daemon flips it so load
-// balancers stop routing to it before the listener goes away. A nil ready
-// means always ready.
-func (r *Registry) HandlerWithHealth(ready func() bool) http.Handler {
+// HandlerWithHealth is Handler plus orchestration probes and build
+// identification: /healthz always answers 200 (the process is alive),
+// /readyz answers 200 only while ready() is true and 503 otherwise — a
+// draining daemon flips it so load balancers stop routing to it before the
+// listener goes away — and /version reports the binary's build info as
+// JSON (see Version). A nil ready means always ready.
+//
+// The returned mux is open for further registration, so a daemon can mount
+// additional surfaces (the scenario API, the dashboard) on the same
+// listener.
+func (r *Registry) HandlerWithHealth(ready func() bool) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -162,13 +167,20 @@ func (r *Registry) HandlerWithHealth(ready func() bool) http.Handler {
 		}
 		fmt.Fprintln(w, "ready")
 	})
+	mux.HandleFunc("/version", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(Version())
+	})
 	return mux
 }
 
 // Handler serves the Default registry.
 func Handler() http.Handler { return Default.Handler() }
 
-// HandlerWithHealth serves the Default registry with a readiness probe.
-func HandlerWithHealth(ready func() bool) http.Handler {
+// HandlerWithHealth serves the Default registry with a readiness probe and
+// the /version endpoint; the returned mux accepts further routes.
+func HandlerWithHealth(ready func() bool) *http.ServeMux {
 	return Default.HandlerWithHealth(ready)
 }

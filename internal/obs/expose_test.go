@@ -169,3 +169,31 @@ func TestSnapshotRoundTripsThroughJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVersionEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewRegistry().HandlerWithHealth(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/version = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/version Content-Type = %q", ct)
+	}
+	var v BuildInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("/version body not JSON: %v", err)
+	}
+	// A test binary always knows the Go toolchain that built it; module and
+	// version may degrade to placeholders outside `go build` but stay set.
+	if v.Go == "" {
+		t.Error("/version reports empty Go version")
+	}
+	if v.Module == "" || v.Version == "" {
+		t.Errorf("/version missing module/version: %+v", v)
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the /version document: what binary is answering, read from
+// the Go build metadata stamped into it (runtime/debug.ReadBuildInfo), so
+// it needs no ldflags plumbing and is correct for any `go build`.
+type BuildInfo struct {
+	// Module is the main module path (e.g. "fedshare").
+	Module string `json:"module"`
+	// Version is the main module version ("(devel)" for a plain source build).
+	Version string `json:"version"`
+	// Go is the toolchain that built the binary.
+	Go string `json:"go"`
+	// Revision and Time are the VCS commit stamp, when the build carried one.
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	// Dirty marks a VCS build with uncommitted changes.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+var readVersion = sync.OnceValue(func() BuildInfo {
+	info := BuildInfo{Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.Version = bi.Main.Version
+	info.Go = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Version returns the running binary's build info. The read is done once
+// and cached; it never fails (a binary without build info reports version
+// "unknown").
+func Version() BuildInfo { return readVersion() }

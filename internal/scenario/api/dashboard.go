@@ -1,0 +1,28 @@
+package api
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+// The dashboard is compiled into the binary: three static assets, no
+// external dependency, no CDN fetch. embed.FS is the modern form of the
+// http.FileSystem asset-embedding idiom — the daemon serves experiments
+// from anywhere its single binary lands.
+//
+//go:embed dashboard
+var dashboardFS embed.FS
+
+// RegisterDashboard mounts the embedded dashboard at the mux root. More
+// specific patterns on the same mux (/metrics, /api/v1/..., the health
+// probes) keep winning; everything else falls through to the asset set,
+// with / serving index.html.
+func RegisterDashboard(mux *http.ServeMux) {
+	assets, err := fs.Sub(dashboardFS, "dashboard")
+	if err != nil {
+		// The subtree is compiled in; its absence is a build defect.
+		panic("api: embedded dashboard missing: " + err.Error())
+	}
+	mux.Handle("/", http.FileServerFS(assets))
+}

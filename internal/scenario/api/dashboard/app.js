@@ -1,0 +1,349 @@
+// fedshare dashboard — a plain-JS client of the scenario API. No
+// framework, no CDN: everything the browser needs is compiled into the
+// daemon binary. The page polls the run table while anything is live and
+// renders completed results as an SVG line chart plus a data table (the
+// same series JSON `fedctl result` and `fedsim -result-json` emit).
+"use strict";
+
+const POLL_MS = 1000;
+let currentResult = null; // id of the run shown in the result panel
+
+async function fetchJSON(url, opts) {
+  const resp = await fetch(url, opts);
+  const text = await resp.text();
+  let body = null;
+  try { body = text ? JSON.parse(text) : null; } catch { /* non-JSON */ }
+  if (!resp.ok) {
+    const msg = body && body.error ? body.error : resp.status + " " + resp.statusText;
+    throw new Error(msg);
+  }
+  return body;
+}
+
+function el(tag, attrs, ...children) {
+  const node = document.createElement(tag);
+  for (const [k, v] of Object.entries(attrs || {})) {
+    if (k === "class") node.className = v;
+    else if (k.startsWith("on")) node.addEventListener(k.slice(2), v);
+    else node.setAttribute(k, v);
+  }
+  for (const c of children) {
+    node.append(c instanceof Node ? c : document.createTextNode(String(c)));
+  }
+  return node;
+}
+
+// -- header: version + readiness ------------------------------------------
+
+async function loadVersion() {
+  try {
+    const v = await fetchJSON("/version");
+    const parts = [];
+    if (v.version && v.version !== "(devel)") parts.push(v.version);
+    if (v.revision) parts.push(v.revision.slice(0, 12));
+    if (v.go) parts.push(v.go);
+    document.getElementById("version").textContent =
+      parts.length ? parts.join(" · ") : "development build";
+  } catch {
+    document.getElementById("version").textContent = "version unavailable";
+  }
+}
+
+async function pollHealth() {
+  const dot = document.getElementById("health");
+  try {
+    const resp = await fetch("/readyz");
+    dot.className = "health " + (resp.ok ? "ok" : "bad");
+    dot.title = resp.ok ? "ready" : "not ready (draining?)";
+  } catch {
+    dot.className = "health bad";
+    dot.title = "unreachable";
+  }
+}
+
+// -- scenarios ------------------------------------------------------------
+
+async function loadScenarios() {
+  const list = document.getElementById("scenarios");
+  try {
+    const data = await fetchJSON("/api/v1/scenarios");
+    list.replaceChildren(...data.scenarios.map(s =>
+      el("li", {},
+        el("span", { class: "id" }, s.id),
+        el("span", { class: "title", title: s.title }, s.title),
+        el("button", {
+          class: "quiet",
+          onclick: () => submitScenario(s.id),
+        }, "Run"))));
+  } catch (err) {
+    list.replaceChildren(el("li", { class: "error" }, String(err.message)));
+  }
+}
+
+async function submitScenario(id) {
+  try {
+    await fetchJSON("/api/v1/runs?scenario=" + encodeURIComponent(id), { method: "POST" });
+    refreshRuns();
+  } catch (err) {
+    showSubmitError(err);
+  }
+}
+
+function showSubmitError(err) {
+  document.getElementById("submit-error").textContent = String(err.message);
+}
+
+async function submitSpec() {
+  showSubmitError({ message: "" });
+  const spec = document.getElementById("spec").value.trim();
+  if (!spec) return showSubmitError({ message: "paste a spec document first" });
+  try {
+    await fetchJSON("/api/v1/runs", { method: "POST", body: spec });
+    refreshRuns();
+  } catch (err) {
+    showSubmitError(err);
+  }
+}
+
+// -- runs table -----------------------------------------------------------
+
+function fmtElapsed(sec) {
+  if (!sec) return "";
+  if (sec < 1) return (sec * 1000).toFixed(0) + " ms";
+  if (sec < 60) return sec.toFixed(1) + " s";
+  return Math.floor(sec / 60) + "m " + Math.round(sec % 60) + "s";
+}
+
+async function refreshRuns() {
+  let data;
+  try {
+    data = await fetchJSON("/api/v1/runs");
+  } catch {
+    return; // transient; next poll retries
+  }
+  const runs = data.runs;
+  document.getElementById("no-runs").hidden = runs.length > 0;
+  const body = document.querySelector("#runs tbody");
+  body.replaceChildren(...runs.slice().reverse().map(r => {
+    const pct = r.progress.total > 0
+      ? Math.round(100 * r.progress.done / r.progress.total) : 0;
+    const actions = [];
+    if (r.state === "queued" || r.state === "running") {
+      actions.push(el("button", { class: "quiet", onclick: () => cancelRun(r.id) }, "Cancel"));
+    }
+    if (r.state === "done") {
+      actions.push(el("button", { class: "quiet", onclick: () => showResult(r.id) }, "View"));
+    }
+    return el("tr", {},
+      el("td", { class: "id" }, r.id),
+      el("td", { class: "scn" }, r.scenario),
+      el("td", {}, el("span", { class: "state " + r.state, title: r.error || "" }, r.state)),
+      el("td", {},
+        el("span", { class: "bar" }, el("i", { style: "width:" + pct + "%" })),
+        el("span", {}, r.progress.total > 0 ? ` ${r.progress.done}/${r.progress.total}` : "")),
+      el("td", {}, fmtElapsed(r.elapsed_seconds)),
+      el("td", {}, ...actions));
+  }));
+  // Auto-open the newest completed run if nothing is on display yet.
+  if (currentResult === null) {
+    const done = runs.filter(r => r.state === "done");
+    if (done.length) showResult(done[done.length - 1].id);
+  }
+}
+
+async function cancelRun(id) {
+  try { await fetchJSON("/api/v1/runs/" + id, { method: "DELETE" }); } catch { /* raced done */ }
+  refreshRuns();
+}
+
+// -- result rendering -----------------------------------------------------
+
+// Fixed validated categorical order; identity follows the series, never its
+// rank within a filtered view. Past eight series the hues repeat with a
+// dashed stroke as the secondary encoding, and the data table below the
+// chart is always present as the unambiguous view.
+const SERIES_VARS = ["--series-1", "--series-2", "--series-3", "--series-4",
+  "--series-5", "--series-6", "--series-7", "--series-8"];
+
+function seriesStyle(i) {
+  const css = getComputedStyle(document.body);
+  return {
+    color: css.getPropertyValue(SERIES_VARS[i % SERIES_VARS.length]).trim(),
+    dashed: i >= SERIES_VARS.length,
+  };
+}
+
+async function showResult(id) {
+  currentResult = id;
+  let result;
+  try {
+    result = await fetchJSON("/api/v1/runs/" + id + "/result");
+  } catch (err) {
+    return showSubmitError(err);
+  }
+  const panel = document.getElementById("result");
+  panel.hidden = false;
+  document.getElementById("result-title").textContent =
+    result.id + " — " + (result.title || "untitled");
+  document.getElementById("result-notes").textContent = result.notes || "";
+  renderChart(result);
+  renderLegend(result);
+  renderTable(result);
+}
+
+function extent(series, pick) {
+  let lo = Infinity, hi = -Infinity;
+  for (const s of series) for (const p of s.Points) {
+    const v = pick(p);
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  if (lo === Infinity) { lo = 0; hi = 1; }
+  if (lo === hi) { lo -= 0.5; hi += 0.5; }
+  return [lo, hi];
+}
+
+function ticks(lo, hi, n) {
+  const span = hi - lo;
+  const step = Math.pow(10, Math.floor(Math.log10(span / n)));
+  const err = span / n / step;
+  const mult = err >= 7.5 ? 10 : err >= 3.5 ? 5 : err >= 1.5 ? 2 : 1;
+  const s = step * mult;
+  const out = [];
+  for (let v = Math.ceil(lo / s) * s; v <= hi + s * 1e-9; v += s) {
+    out.push(Math.abs(v) < s * 1e-9 ? 0 : v);
+  }
+  return out;
+}
+
+function fmtNum(v) {
+  if (v === 0) return "0";
+  const a = Math.abs(v);
+  if (a >= 1e5 || a < 1e-3) return v.toExponential(1);
+  return String(+v.toPrecision(4));
+}
+
+function renderChart(result) {
+  const W = 760, H = 340, m = { top: 14, right: 16, bottom: 34, left: 56 };
+  const series = result.series || [];
+  const [x0, x1] = extent(series, p => p.X);
+  const [rawY0, y1] = extent(series, p => p.Y);
+  const y0 = Math.min(0, rawY0); // shares/profits anchor at zero when non-negative
+  const sx = x => m.left + (x - x0) / (x1 - x0) * (W - m.left - m.right);
+  const sy = y => H - m.bottom - (y - y0) / (y1 - y0) * (H - m.top - m.bottom);
+
+  const ns = "http://www.w3.org/2000/svg";
+  const svg = document.createElementNS(ns, "svg");
+  svg.setAttribute("viewBox", `0 0 ${W} ${H}`);
+  svg.setAttribute("role", "img");
+  svg.setAttribute("aria-label", result.title || result.id);
+
+  const mk = (tag, attrs, text) => {
+    const node = document.createElementNS(ns, tag);
+    for (const [k, v] of Object.entries(attrs)) node.setAttribute(k, v);
+    if (text !== undefined) node.textContent = text;
+    svg.appendChild(node);
+    return node;
+  };
+
+  // Recessive grid + axis ticks.
+  for (const t of ticks(y0, y1, 5)) {
+    mk("line", { class: "grid", x1: m.left, x2: W - m.right, y1: sy(t), y2: sy(t) });
+    mk("text", { class: "tick-label", x: m.left - 7, y: sy(t) + 3, "text-anchor": "end" }, fmtNum(t));
+  }
+  for (const t of ticks(x0, x1, 7)) {
+    mk("line", { class: "axis", x1: sx(t), x2: sx(t), y1: H - m.bottom, y2: H - m.bottom + 4 });
+    mk("text", { class: "tick-label", x: sx(t), y: H - m.bottom + 16, "text-anchor": "middle" }, fmtNum(t));
+  }
+  mk("line", { class: "axis", x1: m.left, x2: W - m.right, y1: H - m.bottom, y2: H - m.bottom });
+  mk("text", {
+    class: "tick-label", x: (m.left + W - m.right) / 2, y: H - 6, "text-anchor": "middle",
+  }, result.xlabel || "x");
+
+  // 2px series lines in fixed categorical order.
+  series.forEach((s, i) => {
+    const st = seriesStyle(i);
+    const d = s.Points.map((p, k) => (k ? "L" : "M") + sx(p.X).toFixed(2) + " " + sy(p.Y).toFixed(2)).join(" ");
+    mk("path", {
+      d, fill: "none", stroke: st.color, "stroke-width": 2,
+      "stroke-dasharray": st.dashed ? "6 4" : "none",
+      "stroke-linejoin": "round", "stroke-linecap": "round",
+    });
+  });
+
+  // Hover layer: crosshair snapped to the nearest x grid point plus a
+  // tooltip listing every series' value there.
+  const crosshair = mk("line", { class: "crosshair", y1: m.top, y2: H - m.bottom, visibility: "hidden" });
+  const tooltip = el("div", { class: "tooltip" });
+  tooltip.hidden = true;
+  document.body.appendChild(tooltip);
+  const xs = series.length ? series[0].Points.map(p => p.X) : [];
+
+  svg.addEventListener("mousemove", ev => {
+    if (!xs.length) return;
+    const rect = svg.getBoundingClientRect();
+    const px = (ev.clientX - rect.left) * W / rect.width;
+    let best = 0;
+    for (let k = 1; k < xs.length; k++) {
+      if (Math.abs(sx(xs[k]) - px) < Math.abs(sx(xs[best]) - px)) best = k;
+    }
+    crosshair.setAttribute("x1", sx(xs[best]));
+    crosshair.setAttribute("x2", sx(xs[best]));
+    crosshair.setAttribute("visibility", "visible");
+    tooltip.hidden = false;
+    tooltip.replaceChildren(
+      el("div", { class: "x" }, (result.xlabel || "x") + " = " + fmtNum(xs[best])),
+      ...series.map((s, i) => {
+        const st = seriesStyle(i);
+        return el("div", {},
+          el("span", {
+            class: "swatch" + (st.dashed ? " dashed" : ""),
+            style: "border-top-color:" + st.color,
+          }),
+          s.Name + ": " + (s.Points[best] ? fmtNum(s.Points[best].Y) : "—"));
+      }));
+    tooltip.style.left = Math.min(ev.clientX + 14, window.innerWidth - 300) + "px";
+    tooltip.style.top = (ev.clientY + 14) + "px";
+  });
+  svg.addEventListener("mouseleave", () => {
+    crosshair.setAttribute("visibility", "hidden");
+    tooltip.hidden = true;
+  });
+
+  const holder = document.getElementById("chart");
+  holder.replaceChildren(svg);
+}
+
+function renderLegend(result) {
+  const legend = document.getElementById("legend");
+  legend.replaceChildren(...(result.series || []).map((s, i) => {
+    const st = seriesStyle(i);
+    return el("span", {},
+      el("span", {
+        class: "swatch" + (st.dashed ? " dashed" : ""),
+        style: "border-top-color:" + st.color,
+      }), s.Name);
+  }));
+}
+
+function renderTable(result) {
+  const series = result.series || [];
+  if (!series.length) return;
+  const head = el("tr", {}, el("th", {}, result.xlabel || "x"),
+    ...series.map(s => el("th", {}, s.Name)));
+  const rows = series[0].Points.map((p, k) =>
+    el("tr", {}, el("td", {}, fmtNum(p.X)),
+      ...series.map(s => el("td", {}, s.Points[k] ? fmtNum(s.Points[k].Y) : ""))));
+  document.getElementById("result-table").replaceChildren(
+    el("table", {}, el("thead", {}, head), el("tbody", {}, ...rows)));
+}
+
+// -- boot -----------------------------------------------------------------
+
+document.getElementById("submit").addEventListener("click", submitSpec);
+loadVersion();
+loadScenarios();
+pollHealth();
+refreshRuns();
+setInterval(pollHealth, 5 * POLL_MS);
+setInterval(refreshRuns, POLL_MS);

@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"fedshare/internal/core"
 	"fedshare/internal/obs"
@@ -23,16 +26,27 @@ var (
 // Result is an executed scenario: the series the experiment plots, ready
 // for the table/chart renderers. Paper figures are Results too.
 type Result struct {
-	ID     string
-	Title  string
-	XLabel string
-	Notes  string
-	Series []stats.Series
+	ID     string         `json:"id"`
+	Title  string         `json:"title"`
+	XLabel string         `json:"xlabel"`
+	Notes  string         `json:"notes,omitempty"`
+	Series []stats.Series `json:"series"`
 }
 
 // Table renders the result's series as an aligned text table.
 func (r *Result) Table() string {
 	return stats.Table(r.XLabel, r.Series)
+}
+
+// JSON encodes the result as indented JSON. The API result endpoint and
+// fedsim -result-json both emit exactly this encoding, so the CI api-smoke
+// diff gate can compare them byte for byte.
+func (r *Result) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode result: %w", err)
+	}
+	return append(out, '\n'), nil
 }
 
 // policySymbol maps policy names to the per-facility series symbols the
@@ -56,12 +70,60 @@ func symbolFor(name string) string {
 	return name
 }
 
-// Run validates and executes a spec: it materializes the axis grid,
+// ProgressFunc observes sweep execution: done points out of total. It is
+// called once up front with (0, total) and then after every completed
+// point, possibly concurrently from sweep workers — implementations must
+// be safe for concurrent use.
+type ProgressFunc func(done, total int)
+
+// runner threads the execution context through a single scenario run: the
+// cancellation context and the per-point progress callback. A nil runner
+// context behaves like context.Background(), so the synchronous Run path
+// pays nothing for the indirection.
+type runner struct {
+	ctx      context.Context
+	progress ProgressFunc
+	total    int
+	done     atomic.Int64
+}
+
+// cancelled surfaces context cancellation between and within sweeps. The
+// context's error is returned unwrapped so callers (the async engine) can
+// classify cancellation with errors.Is.
+func (r *runner) cancelled() error {
+	if r.ctx == nil {
+		return nil
+	}
+	return r.ctx.Err()
+}
+
+// step records one completed sweep point.
+func (r *runner) step() {
+	n := r.done.Add(1)
+	if r.progress != nil {
+		r.progress(int(n), r.total)
+	}
+}
+
+// Run validates and executes a spec synchronously. It is the thin wrapper
+// the one-shot paths (fedsim figures, golden tests) use; the full executor
+// with cancellation and progress is RunContext, which the async engine
+// layer drives.
+func Run(s *Spec) (*Result, error) {
+	return RunContext(context.Background(), s, nil)
+}
+
+// RunContext validates and executes a spec: it materializes the axis grid,
 // evaluates every sweep point on the sweep worker pool (deterministic
 // point ordering, so output is byte-identical to a sequential run), and
 // assembles the output series. Model-construction and policy errors
 // propagate with the failing point's coordinates attached.
-func Run(s *Spec) (*Result, error) {
+//
+// The context cancels the run between sweep points: a cancelled run
+// returns ctx.Err() (unwrapped). progress, when non-nil, is invoked after
+// every completed point with (done, total); total counts model-evaluation
+// points (sweep points × the per-point multiplicity of the scenario kind).
+func RunContext(ctx context.Context, s *Spec, progress ProgressFunc) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,14 +134,19 @@ func Run(s *Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	r := &runner{ctx: ctx, progress: progress}
+	r.total = s.totalPoints(len(xs))
+	if progress != nil {
+		progress(0, r.total)
+	}
 	res := &Result{ID: s.ID, Title: s.Title, XLabel: s.XLabel, Notes: s.Notes}
 	switch s.kind() {
 	case KindUtility:
-		err = s.runUtility(res, xs)
+		err = s.runUtility(r, res, xs)
 	case KindShares:
-		err = s.runShares(res, xs)
+		err = s.runShares(r, res, xs)
 	case KindProfit:
-		err = s.runProfit(res, xs)
+		err = s.runProfit(r, res, xs)
 	}
 	if err != nil {
 		return nil, err
@@ -87,14 +154,40 @@ func Run(s *Spec) (*Result, error) {
 	return res, nil
 }
 
+// totalPoints predicts the progress denominator for a grid of n axis
+// points: the number of model-evaluation points the kind executes.
+func (s *Spec) totalPoints(n int) int {
+	switch s.kind() {
+	case KindUtility:
+		return n * len(s.Demand)
+	case KindProfit:
+		variants := len(s.Variants)
+		if variants == 0 {
+			variants = 1
+		}
+		policies := len(s.Policies)
+		if policies == 0 {
+			policies = 2 // shapley + proportional default
+		}
+		return n * variants * policies
+	default:
+		return n
+	}
+}
+
 // runUtility evaluates each demand class's utility function over the grid.
-func (s *Spec) runUtility(res *Result, xs []float64) error {
+func (s *Spec) runUtility(r *runner, res *Result, xs []float64) error {
 	for _, d := range s.Demand {
+		if err := r.cancelled(); err != nil {
+			return err
+		}
 		u := d.experimentType().Utility()
 		ser := stats.Series{Name: d.Name}
 		for _, x := range xs {
 			ser.Add(x, u.Eval(x))
 		}
+		r.done.Add(int64(len(xs) - 1))
+		r.step()
 		res.Series = append(res.Series, ser)
 	}
 	pointsTotal.With(s.ID).Add(int64(len(xs) * len(s.Demand)))
@@ -108,13 +201,16 @@ func (s *Spec) runUtility(res *Result, xs []float64) error {
 // replicas, so the series layout depends only on the spec's entry list —
 // a 200-facility federation declared from 4 templates plots 4 curves per
 // policy.
-func (s *Spec) runShares(res *Result, xs []float64) error {
+func (s *Spec) runShares(r *runner, res *Result, xs []float64) error {
 	policies, err := s.resolvedPolicies()
 	if err != nil {
 		return err
 	}
 	groups := s.facilityGroups()
 	pts, err := sweep.RunErr(len(xs), 0, func(k int) ([][]float64, error) {
+		if err := r.cancelled(); err != nil {
+			return nil, err
+		}
 		at, err := s.at(xs[k])
 		if err != nil {
 			return nil, err
@@ -140,6 +236,7 @@ func (s *Spec) runShares(res *Result, xs []float64) error {
 			}
 			out[pi] = grouped
 		}
+		r.step()
 		return out, nil
 	})
 	if err != nil {
@@ -162,7 +259,7 @@ func (s *Spec) runShares(res *Result, xs []float64) error {
 // runProfit records the tracked facility's absolute payoff per point, one
 // sweep per variant × policy, variant-major (matching the paper's Fig 9
 // series layout).
-func (s *Spec) runProfit(res *Result, xs []float64) error {
+func (s *Spec) runProfit(r *runner, res *Result, xs []float64) error {
 	policies, err := s.resolvedPolicies()
 	if err != nil {
 		return err
@@ -183,7 +280,13 @@ func (s *Spec) runProfit(res *Result, xs []float64) error {
 			}
 		}
 		for _, p := range policies {
+			if err := r.cancelled(); err != nil {
+				return err
+			}
 			ys, err := sweep.RunErr(len(xs), 0, func(k int) (float64, error) {
+				if err := r.cancelled(); err != nil {
+					return 0, err
+				}
 				at, err := base.at(xs[k])
 				if err != nil {
 					return 0, err
@@ -197,6 +300,7 @@ func (s *Spec) runProfit(res *Result, xs []float64) error {
 					return 0, fmt.Errorf("scenario %s: %s policy at %s=%g: %w",
 						s.ID, p.Name(), s.Axis.Variable, xs[k], err)
 				}
+				r.step()
 				return profits[idx], nil
 			})
 			if err != nil {
