@@ -194,6 +194,10 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("policy %s, federation value %.4g\n", resp.Policy, resp.GrandValue)
+		if resp.Partial {
+			fmt.Printf("PARTIAL: computed over the live sub-federation; down: %s\n",
+				strings.Join(resp.Down, ", "))
+		}
 		names := make([]string, 0, len(resp.Shares))
 		for n := range resp.Shares {
 			names = append(names, n)
@@ -245,10 +249,46 @@ func printStatus(addr string) error {
 		return fmt.Errorf("readyz: %w", err)
 	}
 	fmt.Printf("healthz: %s\nreadyz:  %s\nversion: %s\n", health, ready, versionLine(addr))
+	printPeerTable(addr)
 	if !alive || !isReady {
 		return fmt.Errorf("daemon at %s is not ready", addr)
 	}
 	return nil
+}
+
+// printPeerTable renders the daemon's /peersz per-peer health snapshot:
+// lifecycle state, last successful contact, breaker state, and reconcile
+// backlog. Probe failure or a 404 (a daemon predating the endpoint)
+// degrades to silence — status's exit code reflects health, not peering.
+func printPeerTable(addr string) {
+	resp, err := fetchWithRetry(addr, "/peersz")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var peers []sfa.PeerHealthInfo
+	if json.NewDecoder(resp.Body).Decode(&peers) != nil {
+		return
+	}
+	if len(peers) == 0 {
+		fmt.Println("peers:   none")
+		return
+	}
+	fmt.Printf("peers:\n  %-12s %-12s %-12s %-10s %s\n", "peer", "state", "last-seen", "breaker", "backlog")
+	for _, p := range peers {
+		lastSeen := "never"
+		if p.LastSeenSeconds >= 0 {
+			lastSeen = fmt.Sprintf("%.1fs ago", p.LastSeenSeconds)
+		}
+		breaker := p.Breaker
+		if breaker == "" {
+			breaker = "-"
+		}
+		fmt.Printf("  %-12s %-12s %-12s %-10s %d\n", p.Peer, p.State, lastSeen, breaker, p.Backlog)
+	}
 }
 
 // versionLine renders a daemon's /version document on one line. Probe
@@ -590,7 +630,8 @@ commands:
   shares [-policy shapley|proportional|consumption|equal|nucleolus|banzhaf]
   usage
   metrics <metrics-addr>    fetch and render a daemon's /metrics.json snapshot
-  status <metrics-addr>     probe /healthz, /readyz and /version (non-zero exit if not ready)
+  status <metrics-addr>     probe /healthz, /readyz, /version and the /peersz peer
+                            health table (non-zero exit if not ready)
   scenarios                 list the registered scenario specs (run with fedsim)
   submit [-fig id] [-wait] <metrics-addr> [spec.json]
                             submit an experiment to a fedd -api daemon (prints the run id)

@@ -10,8 +10,11 @@
 // federated slice embedding, and value-share computation. With
 // -metrics-addr it also serves the observability endpoint: Prometheus text
 // format at /metrics, a JSON snapshot at /metrics.json (what `fedctl
-// metrics` renders), a liveness probe at /healthz, and a readiness probe at
-// /readyz that flips to 503 while the daemon drains. On SIGTERM/SIGINT the
+// metrics` renders), a per-peer health snapshot at /peersz (what `fedctl
+// status` renders as the peer table), a liveness probe at /healthz, and a
+// readiness probe at /readyz that flips to 503 while the daemon drains.
+// -max-inflight bounds concurrently executing requests; excess load is
+// shed with a retriable overload code instead of queueing without bound. On SIGTERM/SIGINT the
 // daemon shuts down gracefully: readiness flips, the optional -drain-grace
 // lame-duck period elapses, in-flight requests finish, and only then does
 // the process exit. At -log-level debug every dispatched request and span
@@ -34,6 +37,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -70,6 +74,7 @@ func main() {
 	apiConcurrency := flag.Int("api-concurrency", 2, "how many submitted experiments execute simultaneously (further submissions queue)")
 	drainGrace := flag.Duration("drain-grace", 0, "lame-duck period between flipping /readyz to 503 and draining connections")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, or error")
+	maxInFlight := flag.Int("max-inflight", 1024, "admission bound on concurrently executing requests; excess requests are shed with a retriable overload code (0 = unlimited)")
 	dataDir := flag.String("data-dir", "", "persist durable state (WAL + snapshots) in this directory; empty = memory-only")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: interval (background, bounded power-loss window) or always (fsync before every acknowledgment)")
 	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync pacing for -fsync interval")
@@ -97,6 +102,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fedd: -api-concurrency must be positive")
 		os.Exit(2)
 	}
+	if *maxInFlight < 0 {
+		fmt.Fprintln(os.Stderr, "fedd: -max-inflight must be >= 0")
+		os.Exit(2)
+	}
 
 	auth := planetlab.NewAuthority(*name)
 	for s := 0; s < *sites; s++ {
@@ -117,7 +126,10 @@ func main() {
 	}
 
 	var shuttingDown atomic.Bool
-	srvOpts := []sfa.Option{sfa.WithLogLevel(level)}
+	srvOpts := []sfa.Option{
+		sfa.WithLogLevel(level),
+		sfa.WithConfig(sfa.ServerConfig{MaxInFlight: *maxInFlight}),
+	}
 	var store *sfa.DurableStore
 	var recovered *sfa.State
 	if *dataDir != "" {
@@ -167,6 +179,18 @@ func main() {
 		// orchestrator stops routing before the listener goes away.
 		mux := obs.HandlerWithHealth(func() bool {
 			return !shuttingDown.Load() && !srv.Draining()
+		})
+		// Per-peer health, breaker, and reconcile-backlog snapshot; fedctl
+		// status renders this as the peer table.
+		mux.HandleFunc("/peersz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			peers := srv.PeerHealth()
+			if peers == nil {
+				peers = []sfa.PeerHealthInfo{}
+			}
+			if err := json.NewEncoder(w).Encode(peers); err != nil {
+				log.Printf("fedd: /peersz encode: %v", err)
+			}
 		})
 		if *apiEnabled {
 			eng = engine.New(engine.Options{MaxConcurrent: *apiConcurrency})

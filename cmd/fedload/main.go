@@ -25,8 +25,12 @@
 // (run against one daemon incarnation: counters reset on restart, so a
 // run that spans a kill -9 verifies instead by re-issuing its keys in a
 // second run with -expect-executions 0 — every key must replay, none may
-// re-execute). With -verify the run additionally waits for the substrate
-// to return to full capacity after the releases and lease expiries.
+// re-execute). Responses shed by the daemon's -max-inflight admission gate
+// are reported separately from transport failures ("shed" in the result
+// JSON): shed requests are rejected unexecuted and retried with backoff,
+// so an overloaded run still satisfies the exactly-once identity. With
+// -verify the run additionally waits for the substrate to return to full
+// capacity after the releases and lease expiries.
 package main
 
 import (
@@ -47,24 +51,31 @@ import (
 )
 
 type result struct {
-	Label      string  `json:"label"`
-	Addr       string  `json:"addr"`
-	Lifecycles int     `json:"lifecycles"`
-	Workers    int     `json:"workers"`
-	Renews     int     `json:"renews"`
-	Release    bool    `json:"release"`
-	Fault      bool    `json:"fault"`
-	Seed       uint64  `json:"seed,omitempty"`
-	Reserves   int64   `json:"reserves"`    // successful reserve calls (incl. renews)
-	Releases   int64   `json:"releases"`    // successful release calls
-	Failures   int64   `json:"failures"`    // calls that failed after all retries
-	Retries    int64   `json:"retries"`     // client-level retry attempts
-	Redials    int64   `json:"redials"`     // client reconnects
-	Seconds    float64 `json:"seconds"`     // wall-clock run time
-	ReservesPS float64 `json:"reserves_ps"` // successful reserves per second
-	P50Millis  float64 `json:"p50_ms"`      // reserve-call latency
-	P99Millis  float64 `json:"p99_ms"`
-	Executions int64   `json:"executions,omitempty"` // from -metrics: Δdispatched − Δreplayed
+	Label      string `json:"label"`
+	Addr       string `json:"addr"`
+	Lifecycles int    `json:"lifecycles"`
+	Workers    int    `json:"workers"`
+	Renews     int    `json:"renews"`
+	Release    bool   `json:"release"`
+	Fault      bool   `json:"fault"`
+	Seed       uint64 `json:"seed,omitempty"`
+	Reserves   int64  `json:"reserves"` // successful reserve calls (incl. renews)
+	Releases   int64  `json:"releases"` // successful release calls
+	// Failures are calls that failed after all retries for transport or
+	// remote reasons; Shed counts responses the server's admission gate
+	// rejected unexecuted (each retried with backoff); ShedFailures are
+	// calls ultimately rejected as overloaded — unexecuted by contract, so
+	// they are never lost executions.
+	Failures     int64   `json:"failures"`
+	Shed         int64   `json:"shed"`
+	ShedFailures int64   `json:"shed_failures,omitempty"`
+	Retries      int64   `json:"retries"`     // client-level retry attempts
+	Redials      int64   `json:"redials"`     // client reconnects
+	Seconds      float64 `json:"seconds"`     // wall-clock run time
+	ReservesPS   float64 `json:"reserves_ps"` // successful reserves per second
+	P50Millis    float64 `json:"p50_ms"`      // reserve-call latency
+	P99Millis    float64 `json:"p99_ms"`
+	Executions   int64   `json:"executions,omitempty"` // from -metrics: Δdispatched − Δreplayed
 }
 
 func main() {
@@ -131,6 +142,12 @@ func main() {
 	if res.Failures > 0 {
 		fail(fmt.Errorf("%d calls failed after exhausting retries", res.Failures))
 	}
+	if res.ShedFailures > 0 {
+		// Shed calls never executed (the admission gate rejects before any
+		// work), so these are refusals, not lost executions — but a run that
+		// could not push its load through still fails.
+		fail(fmt.Errorf("%d calls still shed after exhausting retries", res.ShedFailures))
+	}
 	if *verify {
 		if err := verifyIdle(*addr, *verifyWait); err != nil {
 			fail(err)
@@ -152,6 +169,7 @@ type runConfig struct {
 func run(cfg runConfig) result {
 	var (
 		reserves, releases, failures atomic.Int64
+		shed, shedFailures           atomic.Int64
 		retries, redials             atomic.Int64
 		latMu                        sync.Mutex
 		latencies                    []float64 // reserve-call millis
@@ -184,6 +202,7 @@ func run(cfg runConfig) result {
 				st := c.Stats()
 				retries.Add(st.Retries)
 				redials.Add(st.Redials)
+				shed.Add(st.Shed)
 				c.Close()
 			}()
 			cred := sfa.IssueCredential([]byte(cfg.secret), "fedload", "fedload", time.Hour)
@@ -206,7 +225,11 @@ func run(cfg runConfig) result {
 						IdempotencyKey: slice + "/r", TTLSeconds: cfg.ttl,
 					}, &rr)
 					if err != nil {
-						failures.Add(1)
+						if sfa.IsOverloaded(err) {
+							shedFailures.Add(1)
+						} else {
+							failures.Add(1)
+						}
 						ok = false
 						break
 					}
@@ -220,7 +243,11 @@ func run(cfg runConfig) result {
 					Credential: cred, SliceName: slice, Slivers: rr.Slivers,
 					IdempotencyKey: slice + "/rel",
 				}, nil); err != nil {
-					failures.Add(1)
+					if sfa.IsOverloaded(err) {
+						shedFailures.Add(1)
+					} else {
+						failures.Add(1)
+					}
 					continue
 				}
 				releases.Add(1)
@@ -237,7 +264,8 @@ func run(cfg runConfig) result {
 		Addr: cfg.addr, Lifecycles: cfg.lifecycles, Workers: cfg.workers,
 		Renews: cfg.renews, Release: cfg.release, Fault: cfg.fault,
 		Reserves: reserves.Load(), Releases: releases.Load(),
-		Failures: failures.Load(), Retries: retries.Load(), Redials: redials.Load(),
+		Failures: failures.Load(), Shed: shed.Load(), ShedFailures: shedFailures.Load(),
+		Retries: retries.Load(), Redials: redials.Load(),
 		Seconds: elapsed.Seconds(),
 	}
 	if cfg.fault {

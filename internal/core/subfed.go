@@ -1,0 +1,45 @@
+package core
+
+import "fmt"
+
+// SubFederation restricts the model to the facilities for which keep
+// returns true — the degraded-mode valuation entry point: when federation
+// peers partition away, the coordinator prices the live sub-federation
+// with the same value function instead of blocking on the full coalition.
+//
+// It returns the restricted model, the excluded facility names in input
+// order, and an error if nothing would remain. When every facility is
+// kept the receiver itself is returned (no copy, caches intact). The
+// restricted model shares the receiver's demand and Mu; an Overlap
+// structure is filtered to the kept rows.
+func (m *Model) SubFederation(keep func(name string) bool) (*Model, []string, error) {
+	var kept []Facility
+	var keptIdx []int
+	var excluded []string
+	for i, f := range m.Facilities {
+		if keep(f.Name) {
+			kept = append(kept, f)
+			keptIdx = append(keptIdx, i)
+		} else {
+			excluded = append(excluded, f.Name)
+		}
+	}
+	if len(excluded) == 0 {
+		return m, nil, nil
+	}
+	if len(kept) == 0 {
+		return nil, excluded, fmt.Errorf("core: sub-federation excludes every facility")
+	}
+	sub, err := NewModel(kept, m.Demand)
+	if err != nil {
+		return nil, excluded, err
+	}
+	sub.Mu = m.Mu
+	if m.Overlap != nil {
+		sub.Overlap = make([][]int, len(keptIdx))
+		for j, i := range keptIdx {
+			sub.Overlap[j] = m.Overlap[i]
+		}
+	}
+	return sub, excluded, nil
+}

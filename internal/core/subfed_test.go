@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fedshare/internal/economics"
+)
+
+func subfedModel(t *testing.T) *Model {
+	t.Helper()
+	wl, err := economics.NewWorkload(economics.DemandClass{
+		Type: economics.ExperimentType{
+			Name: "batch", MinLocations: 6, MaxLocations: math.Inf(1),
+			Resources: 1, HoldingTime: 1, Shape: 1,
+		},
+		Count: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel([]Facility{
+		{Name: "A", Locations: 4, Resources: 1},
+		{Name: "B", Locations: 6, Resources: 1.5},
+		{Name: "C", Locations: 3, Resources: 2},
+		{Name: "D", Locations: 5, Resources: 1},
+	}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// A sub-federation must be the same game restricted to the surviving
+// coalition: identical to building a fresh model from the kept facilities
+// under the unchanged demand.
+func TestSubFederationMatchesDirectModel(t *testing.T) {
+	m := subfedModel(t)
+	keep := map[string]bool{"A": true, "C": true, "D": true}
+	sub, excluded, err := m.SubFederation(func(n string) bool { return keep[n] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"B"}; !reflect.DeepEqual(excluded, want) {
+		t.Errorf("excluded = %v, want %v", excluded, want)
+	}
+	var kept []Facility
+	for _, f := range m.Facilities {
+		if keep[f.Name] {
+			kept = append(kept, f)
+		}
+	}
+	direct, err := NewModel(kept, m.Demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sub.GrandValue(), direct.GrandValue(); got != want {
+		t.Errorf("sub grand value %.12f, direct %.12f", got, want)
+	}
+	pol, err := PolicyByName("shapley")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subShares, err := pol.Shares(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directShares, err := pol.Shares(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(subShares, directShares) {
+		t.Errorf("sub shares %v, direct %v", subShares, directShares)
+	}
+}
+
+func TestSubFederationKeepAllReturnsReceiver(t *testing.T) {
+	m := subfedModel(t)
+	sub, excluded, err := m.SubFederation(func(string) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub != m {
+		t.Error("keeping every facility should return the receiver itself")
+	}
+	if excluded != nil {
+		t.Errorf("excluded = %v, want nil", excluded)
+	}
+}
+
+func TestSubFederationKeepNoneErrors(t *testing.T) {
+	m := subfedModel(t)
+	_, excluded, err := m.SubFederation(func(string) bool { return false })
+	if err == nil {
+		t.Fatal("empty sub-federation must error")
+	}
+	if len(excluded) != len(m.Facilities) {
+		t.Errorf("excluded %d facilities, want %d", len(excluded), len(m.Facilities))
+	}
+}

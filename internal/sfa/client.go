@@ -43,6 +43,7 @@ type ClientStats struct {
 	Dials   int64 // successful connections, including the first
 	Redials int64 // successful connections after the first
 	Retries int64 // attempts beyond the first, across all calls
+	Shed    int64 // responses shed by a server admission gate (CodeOverloaded)
 }
 
 // NewClient builds a client from cfg without connecting; the first call
@@ -76,6 +77,14 @@ func (c *Client) Stats() ClientStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// BreakerState reports the circuit breaker's current state ("closed",
+// "half-open", "open") for health surfacing.
+func (c *Client) BreakerState() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.breaker.state.String()
 }
 
 // ensureConn dials a fresh connection if none is live. Caller holds c.mu.
@@ -145,10 +154,19 @@ func (c *Client) Call(method string, params, result interface{}) error {
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
-			// The peer answered: the transport is healthy and the request
-			// was executed, so neither retry nor breaker bookkeeping.
+			// The peer answered: the transport is healthy, so the breaker
+			// never counts a remote error. An overload shed is the one
+			// remote error guaranteed unexecuted — retry it with backoff;
+			// everything else was executed and is returned immediately.
 			c.breaker.success()
 			c.setBreakerGauge()
+			if remote.Code == CodeOverloaded {
+				c.stats.Shed++
+				c.metrics.shed.Inc()
+				lastErr = err
+				c.mu.Unlock()
+				continue
+			}
 			c.mu.Unlock()
 			return err
 		}
@@ -202,7 +220,7 @@ func (c *Client) callOnce(method string, params, result interface{}) error {
 		return fmt.Errorf("sfa: response id %d for request %d", resp.ID, req.ID)
 	}
 	if resp.Error != "" {
-		return &RemoteError{Method: method, Msg: resp.Error}
+		return &RemoteError{Method: method, Msg: resp.Error, Code: resp.Code}
 	}
 	if result != nil {
 		if err := json.Unmarshal(resp.Result, result); err != nil {

@@ -147,10 +147,13 @@ const (
 
 // serverLease is one slice's hold on resources. A zero expiry means the
 // slivers are held until explicit release and the reaper never touches
-// them; a non-zero expiry makes the holding a lease.
+// them; a non-zero expiry makes the holding a lease. holder records which
+// coordinator reserved the slivers (the credential subject), so
+// ListHoldings can answer anti-entropy reads per coordinator.
 type serverLease struct {
 	slice   string
 	kind    leaseKind
+	holder  string
 	expiry  time.Time
 	slivers []planetlab.Sliver // leaseReserve only
 }
@@ -196,7 +199,7 @@ func (lt *leaseTable) notifyLocked() {
 // merges slivers and keeps the later expiry, where a zero expiry acts as
 // +infinity: merging an indefinite holding with a leased one leaves the
 // whole holding indefinite rather than silently expiring it.
-func (lt *leaseTable) add(slice string, kind leaseKind, slivers []planetlab.Sliver, expiry time.Time) {
+func (lt *leaseTable) add(slice string, kind leaseKind, holder string, slivers []planetlab.Sliver, expiry time.Time) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
 	if l, ok := lt.leases[slice]; ok {
@@ -206,8 +209,10 @@ func (lt *leaseTable) add(slice string, kind leaseKind, slivers []planetlab.Sliv
 		} else if expiry.After(l.expiry) {
 			l.expiry = expiry
 		}
+		// A merged holding keeps its original holder (slice names are
+		// scoped per coordinator in practice).
 	} else {
-		lt.leases[slice] = &serverLease{slice: slice, kind: kind, expiry: expiry, slivers: slivers}
+		lt.leases[slice] = &serverLease{slice: slice, kind: kind, holder: holder, expiry: expiry, slivers: slivers}
 	}
 	lt.notifyLocked()
 }
@@ -267,11 +272,28 @@ func (lt *leaseTable) expired(now time.Time) []*serverLease {
 
 // install sets a holding directly from recovered durable state,
 // replacing any existing entry for the slice.
-func (lt *leaseTable) install(slice string, kind leaseKind, slivers []planetlab.Sliver, expiry time.Time) {
+func (lt *leaseTable) install(slice string, kind leaseKind, holder string, slivers []planetlab.Sliver, expiry time.Time) {
 	lt.mu.Lock()
 	defer lt.mu.Unlock()
-	lt.leases[slice] = &serverLease{slice: slice, kind: kind, expiry: expiry, slivers: slivers}
+	lt.leases[slice] = &serverLease{slice: slice, kind: kind, holder: holder, expiry: expiry, slivers: slivers}
 	lt.notifyLocked()
+}
+
+// holdingsFor returns deep copies of the reserve holdings owned by holder,
+// for the anti-entropy ListHoldings read.
+func (lt *leaseTable) holdingsFor(holder string) []serverLease {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	var out []serverLease
+	for _, l := range lt.leases {
+		if l.kind != leaseReserve || l.holder != holder {
+			continue
+		}
+		cp := *l
+		cp.slivers = append([]planetlab.Sliver(nil), l.slivers...)
+		out = append(out, cp)
+	}
+	return out
 }
 
 // snapshot returns deep copies of every holding (leased or not).

@@ -16,6 +16,15 @@ type serverMetrics struct {
 	leasesActive   *obs.Gauge        // fedshare_sfa_leases_active
 	leasesExpired  *obs.Counter      // fedshare_sfa_leases_expired_total
 	dedupReplays   *obs.CounterVec   // fedshare_sfa_dedup_replays_total{method}
+
+	shed             *obs.Counter    // fedshare_sfa_shed_total
+	peerState        *obs.GaugeVec   // fedshare_sfa_peer_state{peer}
+	peerTransitions  *obs.CounterVec // fedshare_sfa_peer_transitions_total{peer,to}
+	reconcileBacklog *obs.GaugeVec   // fedshare_sfa_reconcile_backlog{peer}
+	reconcileReplays *obs.Counter    // fedshare_sfa_reconcile_replays_total
+	reconcileRetired *obs.Counter    // fedshare_sfa_reconcile_retired_total
+	reconcileDropped *obs.Counter    // fedshare_sfa_reconcile_dropped_intent_total
+	reconcileRuns    *obs.CounterVec // fedshare_sfa_reconcile_runs_total{outcome}
 }
 
 func newServerMetrics(r *obs.Registry) *serverMetrics {
@@ -40,6 +49,22 @@ func newServerMetrics(r *obs.Registry) *serverMetrics {
 			"Leases whose TTL elapsed and whose slivers the reaper released."),
 		dedupReplays: r.CounterVec("fedshare_sfa_dedup_replays_total",
 			"Requests answered by replaying a prior response (idempotency-key dedup), by method.", "method"),
+		shed: r.Counter("fedshare_sfa_shed_total",
+			"Requests rejected unexecuted by the in-flight admission gate."),
+		peerState: r.GaugeVec("fedshare_sfa_peer_state",
+			"Peer lifecycle state: 0 healthy, 1 suspect, 2 down, 3 recovering.", "peer"),
+		peerTransitions: r.CounterVec("fedshare_sfa_peer_transitions_total",
+			"Peer health state transitions, by peer and destination state.", "peer", "to"),
+		reconcileBacklog: r.GaugeVec("fedshare_sfa_reconcile_backlog",
+			"Operations queued for replay to an unreachable peer.", "peer"),
+		reconcileReplays: r.Counter("fedshare_sfa_reconcile_replays_total",
+			"Backlogged operations replayed to recovering peers."),
+		reconcileRetired: r.Counter("fedshare_sfa_reconcile_retired_total",
+			"Orphaned peer-held slivers released during reconciliation."),
+		reconcileDropped: r.Counter("fedshare_sfa_reconcile_dropped_intent_total",
+			"Intended peer-held slivers dropped because the peer lost them (restart)."),
+		reconcileRuns: r.CounterVec("fedshare_sfa_reconcile_runs_total",
+			"Reconciliation attempts, by outcome (converged, failed).", "outcome"),
 	}
 }
 
@@ -51,6 +76,7 @@ type clientMetrics struct {
 	redials      *obs.Counter  // fedshare_sfa_client_redials_total
 	breakerOpens *obs.Counter  // fedshare_sfa_client_breaker_opens_total
 	breakerState *obs.GaugeVec // fedshare_sfa_client_breaker_state{peer}
+	shed         *obs.Counter  // fedshare_sfa_client_shed_total
 }
 
 func newClientMetrics(r *obs.Registry) *clientMetrics {
@@ -63,6 +89,8 @@ func newClientMetrics(r *obs.Registry) *clientMetrics {
 			"Circuit breaker closed/half-open to open transitions."),
 		breakerState: r.GaugeVec("fedshare_sfa_client_breaker_state",
 			"Circuit breaker state per peer: 0 closed, 1 half-open, 2 open.", "peer"),
+		shed: r.Counter("fedshare_sfa_client_shed_total",
+			"Responses shed by a server admission gate (retried with backoff)."),
 	}
 }
 
@@ -72,7 +100,7 @@ func methodLabel(method string) string {
 	switch method {
 	case MethodPing, MethodGetRecord, MethodListResources, MethodPeer,
 		MethodCreateSlice, MethodDeleteSlice, MethodReserve, MethodRelease,
-		MethodGetShares, MethodGetUsage:
+		MethodGetShares, MethodGetUsage, MethodListHoldings:
 		return method
 	}
 	return "unknown"

@@ -1,0 +1,698 @@
+package sfa
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fedshare/internal/faultnet"
+	"fedshare/internal/obs"
+)
+
+// --- health tracker unit tests ----------------------------------------------
+
+type transitionLog struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+func (l *transitionLog) hook(peer string, from, to PeerState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from != to {
+		l.entries = append(l.entries, fmt.Sprintf("%s:%s->%s", peer, from, to))
+	}
+}
+
+func (l *transitionLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.entries...)
+}
+
+func TestHealthTrackerLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	var log transitionLog
+	h := newHealthTracker(clock.Now, 2, 3, 50*time.Millisecond, 7)
+	h.onTransition = log.hook
+
+	h.ensure("X")
+	if got := h.state("X"); got != PeerHealthy {
+		t.Fatalf("state after ensure = %s", got)
+	}
+	// One failure is below the suspect threshold (2).
+	h.observe("X", false)
+	if got := h.state("X"); got != PeerHealthy {
+		t.Fatalf("state after 1 failure = %s, want healthy", got)
+	}
+	h.observe("X", false)
+	if got := h.state("X"); got != PeerSuspect {
+		t.Fatalf("state after 2 failures = %s, want suspect", got)
+	}
+	// Success clears a suspect streak.
+	h.observe("X", true)
+	if got := h.state("X"); got != PeerHealthy {
+		t.Fatalf("state after recovery = %s, want healthy", got)
+	}
+	// Walk to down: 2 failures to suspect, then enough to cross downAfter
+	// (counted from the first failure of the streak).
+	for i := 0; i < 4; i++ {
+		h.observe("X", false)
+	}
+	if got := h.state("X"); got != PeerDown {
+		t.Fatalf("state after streak = %s, want down", got)
+	}
+	// A stray success (an in-flight call that raced the transition) must not
+	// readmit a down peer; only the probe/reconcile path does.
+	h.observe("X", true)
+	if got := h.state("X"); got != PeerDown {
+		t.Fatalf("stray success readmitted a down peer: %s", got)
+	}
+	if !h.beginRecovery("X") {
+		t.Fatal("beginRecovery on a down peer must succeed")
+	}
+	if h.beginRecovery("X") {
+		t.Fatal("second beginRecovery must lose the race")
+	}
+	// Outcomes observed during recovery are owned by the reconciler.
+	h.observe("X", false)
+	if got := h.state("X"); got != PeerRecovering {
+		t.Fatalf("observe during recovery moved state to %s", got)
+	}
+	if !h.readmit("X") {
+		t.Fatal("readmit after convergence must succeed")
+	}
+	if got := h.state("X"); got != PeerHealthy {
+		t.Fatalf("state after readmit = %s", got)
+	}
+	// Drain path: healthy -> recovering -> (failed) -> down.
+	if !h.beginDrain("X") {
+		t.Fatal("beginDrain on a healthy peer must succeed")
+	}
+	if !h.demote("X") {
+		t.Fatal("demote on a recovering peer must succeed")
+	}
+	want := []string{
+		"X:healthy->suspect", "X:suspect->healthy",
+		"X:healthy->suspect", "X:suspect->down",
+		"X:down->recovering", "X:recovering->healthy",
+		"X:healthy->recovering", "X:recovering->down",
+	}
+	if got := log.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("transitions = %v\nwant %v", got, want)
+	}
+	h.forget("X")
+	if got := h.state("X"); got != PeerHealthy {
+		t.Errorf("forgotten peer state = %s, want default healthy", got)
+	}
+}
+
+func TestHealthTrackerStraightThroughDown(t *testing.T) {
+	clock := newFakeClock()
+	var log transitionLog
+	// suspectAfter == downAfter == 1: a single failure falls straight
+	// through suspect to down, with both transitions observed.
+	h := newHealthTracker(clock.Now, 1, 1, 50*time.Millisecond, 1)
+	h.onTransition = log.hook
+	h.ensure("Y")
+	h.observe("Y", false)
+	if got := h.state("Y"); got != PeerDown {
+		t.Fatalf("state = %s, want down", got)
+	}
+	want := []string{"Y:healthy->suspect", "Y:suspect->down"}
+	if got := log.snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("transitions = %v, want %v", got, want)
+	}
+}
+
+func TestHealthTrackerDueProbes(t *testing.T) {
+	clock := newFakeClock()
+	const interval = 40 * time.Millisecond
+	h := newHealthTracker(clock.Now, 1, 3, interval, 11)
+	h.ensure("A")
+	h.ensure("B")
+	if due := h.dueProbes(); len(due) != 0 {
+		t.Fatalf("probes due immediately after ensure: %v", due)
+	}
+	// interval + max jitter (interval/4) passes: both peers are due, sorted.
+	clock.Advance(interval + interval/4)
+	if due := h.dueProbes(); !reflect.DeepEqual(due, []string{"A", "B"}) {
+		t.Fatalf("due = %v, want [A B]", due)
+	}
+	// dueProbes reschedules: nothing is due again until the clock moves.
+	if due := h.dueProbes(); len(due) != 0 {
+		t.Fatalf("probes due twice without the clock advancing: %v", due)
+	}
+	// Recovering peers are owned by the reconciler and never probed.
+	for i := 0; i < 3; i++ {
+		h.observe("A", false)
+	}
+	if !h.beginRecovery("A") {
+		t.Fatal("A should be down and recoverable")
+	}
+	clock.Advance(interval + interval/4)
+	if due := h.dueProbes(); !reflect.DeepEqual(due, []string{"B"}) {
+		t.Fatalf("due = %v, want [B] (A is recovering)", due)
+	}
+}
+
+// --- overload shedding -------------------------------------------------------
+
+// silentListener accepts connections and never answers, wedging any call
+// routed at it until the test closes the accepted connections.
+type silentListener struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newSilentListener(t *testing.T) *silentListener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &silentListener{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, c)
+			s.mu.Unlock()
+		}
+	}()
+	t.Cleanup(s.close)
+	return s
+}
+
+func (s *silentListener) close() {
+	_ = s.ln.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = nil
+}
+
+// TestAdmissionGateShedsOverload wedges the server's single admission slot
+// with a GetShares blocked on a silent peer, then proves that excess calls
+// are shed unexecuted with CodeOverloaded, that shed responses never trip
+// the client breaker, and that a retrying client succeeds once the wedge
+// clears.
+func TestAdmissionGateShedsOverload(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := startServer(t, buildAuthority(t, "PLC", 2, 1, 4),
+		WithMetrics(reg), WithConfig(ServerConfig{MaxInFlight: 1}))
+
+	// Inject a peer whose registry accepts and never answers: GetShares
+	// blocks on its ListResources, holding the only admission slot.
+	silent := newSilentListener(t)
+	slow := NewClient(ClientConfig{
+		Addr: silent.ln.Addr().String(), CallTimeout: 10 * time.Second,
+		MaxAttempts: 1, BreakerThreshold: -1, Registry: reg,
+	})
+	t.Cleanup(func() { _ = slow.Close() })
+	srv.mu.Lock()
+	srv.peers["SLOW"] = &peerHandle{
+		record: AuthorityRecord{Name: "SLOW", Addr: silent.ln.Addr().String()},
+		client: slow,
+	}
+	srv.mu.Unlock()
+
+	cShares := dialServer(t, srv)
+	sharesDone := make(chan error, 1)
+	var shares SharesResponse
+	go func() {
+		sharesDone <- cShares.Call(MethodGetShares, SharesRequest{Policy: "shapley"}, &shares)
+	}()
+	waitFor(t, "the admission slot to fill", func() bool { return srv.inflight.Load() == 1 })
+
+	pingsBefore := counterValue(reg, "fedshare_sfa_requests_total", MethodPing)
+
+	// A non-retrying client sees the shed as a retriable remote error.
+	c2, err := NewClient(ClientConfig{Addr: srv.Addr(), MaxAttempts: 1, Registry: reg}), error(nil)
+	t.Cleanup(func() { _ = c2.Close() })
+	err = c2.Call(MethodPing, nil, nil)
+	if !IsOverloaded(err) {
+		t.Fatalf("call against a full server: err = %v, want overloaded", err)
+	}
+	if got := c2.Stats().Shed; got != 1 {
+		t.Errorf("client shed count = %d, want 1", got)
+	}
+	if got := c2.BreakerState(); got != "closed" {
+		t.Errorf("breaker after shed = %s, want closed (sheds are not transport failures)", got)
+	}
+	if got := reg.Counter("fedshare_sfa_shed_total", "").Value(); got != 1 {
+		t.Errorf("server shed counter = %d, want 1", got)
+	}
+	// Shed requests are guaranteed unexecuted and do not count as dispatched.
+	if got := counterValue(reg, "fedshare_sfa_requests_total", MethodPing); got != pingsBefore {
+		t.Errorf("shed ping counted in requests_total (%d -> %d)", pingsBefore, got)
+	}
+
+	// A retrying client sheds once, backs off (here: until the wedge truly
+	// cleared), and then succeeds — overload is retriable by construction.
+	wedgeDone := make(chan struct{})
+	c3 := NewClient(ClientConfig{
+		Addr: srv.Addr(), MaxAttempts: 2, Registry: reg,
+		Sleep: func(time.Duration) { <-wedgeDone },
+	})
+	t.Cleanup(func() { _ = c3.Close() })
+	c3Done := make(chan error, 1)
+	go func() { c3Done <- c3.Call(MethodPing, nil, nil) }()
+	waitFor(t, "the retrying client to be shed", func() bool { return c3.Stats().Shed == 1 })
+
+	// Clear the wedge: the silent peer's connections die, GetShares finishes
+	// (degraded, not failed), and the slot frees.
+	silent.close()
+	if err := <-sharesDone; err != nil {
+		t.Fatalf("GetShares blocked on a dead peer must degrade, not fail: %v", err)
+	}
+	if !shares.Partial || len(shares.Down) != 1 || shares.Down[0] != "SLOW" {
+		t.Errorf("shares = partial=%t down=%v, want partial with [SLOW]", shares.Partial, shares.Down)
+	}
+	close(wedgeDone)
+	if err := <-c3Done; err != nil {
+		t.Fatalf("retry after shed: %v", err)
+	}
+	st := c3.Stats()
+	if st.Shed != 1 || st.Retries != 1 {
+		t.Errorf("retrying client stats = %+v, want 1 shed and 1 retry", st)
+	}
+	if got := c3.BreakerState(); got != "closed" {
+		t.Errorf("retrying client breaker = %s, want closed", got)
+	}
+	if got := reg.Counter("fedshare_sfa_shed_total", "").Value(); got != 2 {
+		t.Errorf("server shed counter = %d, want 2", got)
+	}
+}
+
+// --- breaker half-open race --------------------------------------------------
+
+// TestBreakerHalfOpenSingleProbe races concurrent callers against the
+// open→half-open flip and proves exactly one of them performs the network
+// probe; the rest fail fast on the reopened breaker.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	srv := startServer(t, buildAuthority(t, "PLC", 1, 1, 1))
+	clock := newFakeClock()
+	var dials atomic.Int64
+	var failDials atomic.Bool
+	failDials.Store(true)
+	cooldown := time.Second
+	c := NewClient(ClientConfig{
+		Addr: srv.Addr(), MaxAttempts: 1,
+		BreakerThreshold: 1, BreakerCooldown: cooldown,
+		Now: clock.Now, Registry: obs.NewRegistry(),
+		DialFunc: func(addr string, timeout time.Duration) (net.Conn, error) {
+			dials.Add(1)
+			if failDials.Load() {
+				return nil, errors.New("injected dial failure")
+			}
+			return net.DialTimeout("tcp", addr, timeout)
+		},
+	})
+	t.Cleanup(func() { _ = c.Close() })
+
+	// First call fails at dial and opens the breaker (threshold 1).
+	if err := c.Call(MethodPing, nil, nil); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("first call: err = %v, want the dial failure itself", err)
+	}
+	if got := c.BreakerState(); got != "open" {
+		t.Fatalf("breaker = %s, want open", got)
+	}
+	// While open and inside the cooldown, calls fail fast without dialing.
+	if err := c.Call(MethodPing, nil, nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("call during cooldown: err = %v, want ErrCircuitOpen", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dials during open = %d, want 1", got)
+	}
+
+	// Cooldown elapses; many callers race the half-open flip.
+	clock.Advance(cooldown)
+	const callers = 8
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = c.Call(MethodPing, nil, nil)
+		}(i)
+	}
+	wg.Wait()
+	// Exactly one caller probed the network; its failure reopened the
+	// breaker so every other caller failed fast.
+	if got := dials.Load(); got != 2 {
+		t.Errorf("half-open probe dialed %d times, want exactly 1", got-1)
+	}
+	fastFails, probeFails := 0, 0
+	for _, err := range errs {
+		switch {
+		case errors.Is(err, ErrCircuitOpen):
+			fastFails++
+		case err != nil:
+			probeFails++
+		default:
+			t.Error("a call succeeded against a failing dialer")
+		}
+	}
+	if probeFails != 1 || fastFails != callers-1 {
+		t.Errorf("probe failures = %d, fast failures = %d; want 1 and %d", probeFails, fastFails, callers-1)
+	}
+	if got := c.BreakerState(); got != "open" {
+		t.Errorf("breaker after failed probe = %s, want open", got)
+	}
+
+	// After the next cooldown a successful probe closes the breaker.
+	failDials.Store(false)
+	clock.Advance(cooldown)
+	if err := c.Call(MethodPing, nil, nil); err != nil {
+		t.Fatalf("successful half-open probe: %v", err)
+	}
+	if got := c.BreakerState(); got != "closed" {
+		t.Errorf("breaker after successful probe = %s, want closed", got)
+	}
+}
+
+// --- reconciliation: lost intent ---------------------------------------------
+
+// TestReconcileDropsLostIntent exercises the wipe/restart path: the peer
+// loses holdings the coordinator still intends (here: they are released
+// behind the coordinator's back), and reconciliation amends intent instead
+// of demanding slivers the peer no longer has.
+func TestReconcileDropsLostIntent(t *testing.T) {
+	clock := newFakeClock()
+	regC, reg2 := obs.NewRegistry(), obs.NewRegistry()
+	p2 := startServer(t, buildAuthority(t, "P2", 2, 1, 4), WithMetrics(reg2))
+	gate := faultnet.NewPartition()
+	p2Addr := p2.Addr()
+	srvC := startServer(t, buildAuthority(t, "C", 2, 1, 4), WithMetrics(regC),
+		WithConfig(ServerConfig{
+			Now: clock.Now, LeaseReapInterval: 2 * time.Millisecond,
+			ProbeInterval: 50 * time.Millisecond, SuspectAfter: 1, DownAfter: 1, Seed: 3,
+			PeerClient: func(addr string) ClientConfig {
+				cc := ClientConfig{Addr: addr, MaxAttempts: 1, BreakerThreshold: -1, Registry: regC, Now: clock.Now}
+				if addr == p2Addr {
+					cc.DialFunc = gate.Dial
+				}
+				return cc
+			},
+		}))
+	if err := srvC.PeerWith(p2Addr); err != nil {
+		t.Fatal(err)
+	}
+	c := dialServer(t, srvC)
+
+	var resp SliceResponse
+	if err := c.Call(MethodCreateSlice, SliceRequest{
+		Credential: userCred(), Name: "lost1", Owner: "x", MinSites: 3,
+	}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	var p2Slivers []SliverRecord
+	for _, sv := range resp.Slivers {
+		if sv.Authority == "P2" {
+			p2Slivers = append(p2Slivers, sv)
+		}
+	}
+	if len(p2Slivers) != 2 {
+		t.Fatalf("slice holds %d slivers at P2, want 2", len(p2Slivers))
+	}
+
+	// The peer "loses" the holdings: release them directly at P2, as if it
+	// restarted without its volatile state.
+	direct := dialServer(t, p2)
+	if err := direct.Call(MethodRelease, ReleaseRequest{
+		Credential: IssueCredential(testSecret, "C", "C", time.Minute),
+		SliceName:  "lost1", Slivers: p2Slivers,
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition the link and let one failed call declare P2 down.
+	gate.Cut()
+	var shares SharesResponse
+	if err := c.Call(MethodGetShares, SharesRequest{Policy: "shapley"}, &shares); err != nil {
+		t.Fatalf("degraded shares: %v", err)
+	}
+	if !shares.Partial {
+		t.Error("shares during the cut should carry the partial marker")
+	}
+	waitFor(t, "P2 to be declared down", func() bool {
+		return srvC.PeerLifecycleState("P2") == PeerDown
+	})
+
+	// Heal; the probe starts recovery and reconciliation drops the lost
+	// intent rather than failing forever on the mismatch.
+	gate.Heal()
+	clock.Advance(120 * time.Millisecond)
+	waitFor(t, "P2 readmission after reconcile", func() bool {
+		return srvC.PeerLifecycleState("P2") == PeerHealthy && srvC.recon.depth("P2") == 0
+	})
+	if got := regC.Counter("fedshare_sfa_reconcile_dropped_intent_total", "").Value(); got != 2 {
+		t.Errorf("dropped-intent counter = %d, want 2", got)
+	}
+	if got := regC.CounterVec("fedshare_sfa_reconcile_runs_total", "", "outcome").With("converged").Value(); got != 1 {
+		t.Errorf("converged reconcile runs = %d, want 1", got)
+	}
+
+	// Intent was amended: deleting the slice sends P2 no further release.
+	releasesBefore := counterValue(reg2, "fedshare_sfa_requests_total", MethodRelease)
+	if err := c.Call(MethodDeleteSlice, DeleteRequest{Credential: userCred(), Name: "lost1"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(reg2, "fedshare_sfa_requests_total", MethodRelease); got != releasesBefore {
+		t.Errorf("delete after amended intent sent %d extra releases to P2", got-releasesBefore)
+	}
+	// Fresh response struct: Partial/Down are omitempty, so decoding into a
+	// reused struct would leave stale values behind.
+	var healed SharesResponse
+	if err := c.Call(MethodGetShares, SharesRequest{Policy: "shapley"}, &healed); err != nil {
+		t.Fatal(err)
+	}
+	if healed.Partial {
+		t.Error("shares after readmission should not be partial")
+	}
+}
+
+// --- partition/heal chaos ----------------------------------------------------
+
+// runPartitionChaos drives a three-authority federation (coordinator C,
+// peers P1 and P2) through a seeded schedule of partition windows on the
+// C→P2 link, asserting after every heal that reconciliation converges, and
+// at the end that the exactly-once identity holds at the partitioned peer
+// and all capacity returns. The returned transcript is a pure function of
+// the seed; the caller compares two runs for byte equality.
+func runPartitionChaos(t *testing.T, seed uint64) string {
+	clock := newFakeClock()
+	regC, reg1, reg2 := obs.NewRegistry(), obs.NewRegistry(), obs.NewRegistry()
+	authC := buildAuthority(t, "C", 2, 1, 8)
+	auth1 := buildAuthority(t, "P1", 3, 1, 8)
+	auth2 := buildAuthority(t, "P2", 3, 1, 8)
+	p1 := startServer(t, auth1, WithMetrics(reg1))
+	p2 := startServer(t, auth2, WithMetrics(reg2))
+	gate := faultnet.NewPartition()
+	p2Addr := p2.Addr()
+	srvC := startServer(t, authC, WithMetrics(regC), WithConfig(ServerConfig{
+		Now: clock.Now, LeaseReapInterval: 2 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond, SuspectAfter: 1, DownAfter: 2, Seed: seed,
+		PeerClient: func(addr string) ClientConfig {
+			cc := ClientConfig{Addr: addr, MaxAttempts: 1, BreakerThreshold: -1, Registry: regC, Now: clock.Now}
+			if addr == p2Addr {
+				cc.DialFunc = gate.Dial
+			}
+			return cc
+		},
+	}))
+	if err := srvC.PeerWith(p1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvC.PeerWith(p2Addr); err != nil {
+		t.Fatal(err)
+	}
+	c := dialServer(t, srvC)
+
+	// Populate the advertisement cache while everything is healthy, so
+	// degraded-mode shares can price the full game later.
+	var shares SharesResponse
+	if err := c.Call(MethodGetShares, SharesRequest{Policy: "shapley"}, &shares); err != nil {
+		t.Fatal(err)
+	}
+	if shares.Partial {
+		t.Fatal("healthy federation reported partial shares")
+	}
+
+	var b strings.Builder
+	plan := faultnet.DrawPartitionPlan(seed, faultnet.PartitionPlanConfig{})
+	fmt.Fprintf(&b, "plan=%v\n", plan)
+
+	type sliceInfo struct {
+		name  string
+		hasP2 bool
+	}
+	var live []sliceInfo
+	var expReserve, expRelease, expRetire int64 // expected executions at P2
+	opIdx := 0
+	// One op = create a fresh slice and delete the one from two ops ago, so
+	// slices created before a cut are deleted during it (exercising queued
+	// releases) and vice versa.
+	op := func() {
+		state := srvC.PeerLifecycleState("P2")
+		// A key for P2 is drawn only when it is not down/recovering; every
+		// drawn key executes exactly once (directly or via replay).
+		keyed := state != PeerDown && state != PeerRecovering
+		name := fmt.Sprintf("part%03d", opIdx)
+		var resp SliceResponse
+		if err := c.Call(MethodCreateSlice, SliceRequest{
+			Credential: userCred(), Name: name, Owner: "chaos", MinSites: 1,
+		}, &resp); err != nil {
+			t.Fatalf("op %d: create %s: %v", opIdx, name, err)
+		}
+		hasP2 := false
+		for _, sv := range resp.Slivers {
+			if sv.Authority == "P2" {
+				hasP2 = true
+				break
+			}
+		}
+		if keyed {
+			expReserve++
+			if !hasP2 {
+				// The keyed reserve failed in transit: its replay will place
+				// slivers the committed slice does not reference, and the
+				// reconciler retires them with one fresh-keyed release.
+				expRetire++
+			}
+		}
+		fmt.Fprintf(&b, "op%03d state=%s keyed=%t sites=%d hasP2=%t\n",
+			opIdx, state, keyed, resp.Sites, hasP2)
+		live = append(live, sliceInfo{name, hasP2})
+		opIdx++
+		if len(live) > 2 {
+			old := live[0]
+			live = live[1:]
+			if err := c.Call(MethodDeleteSlice, DeleteRequest{Credential: userCred(), Name: old.name}, nil); err != nil {
+				t.Fatalf("op %d: delete %s: %v", opIdx, old.name, err)
+			}
+			if old.hasP2 {
+				expRelease++
+			}
+		}
+	}
+
+	for wi, w := range plan {
+		for j := 0; j < w.UpOps; j++ {
+			op()
+		}
+		gate.Cut()
+		fmt.Fprintf(&b, "w%d:cut\n", wi)
+		for j := 0; j < w.DownOps; j++ {
+			op()
+		}
+		if srvC.PeerLifecycleState("P2") == PeerDown {
+			// Degraded mode: shares succeed over the live sub-federation and
+			// carry the partial marker while the peer is out. Fresh response
+			// struct every time — Partial/Down are omitempty and would
+			// otherwise keep stale values across decodes.
+			var shares SharesResponse
+			if err := c.Call(MethodGetShares, SharesRequest{Policy: "shapley"}, &shares); err != nil {
+				t.Fatalf("window %d: degraded shares: %v", wi, err)
+			}
+			if !shares.Partial || !reflect.DeepEqual(shares.Down, []string{"P2"}) {
+				t.Fatalf("window %d: shares = partial=%t down=%v, want partial with [P2]",
+					wi, shares.Partial, shares.Down)
+			}
+			if _, ok := shares.Shares["P2"]; ok {
+				t.Fatalf("window %d: down peer received a share", wi)
+			}
+			fmt.Fprintf(&b, "w%d:partial down=%v\n", wi, shares.Down)
+		}
+		gate.Heal()
+		// Advance past the probe deadline (interval + max jitter); the next
+		// reaper tick probes P2, starts recovery, and reconciles inline.
+		clock.Advance(120 * time.Millisecond)
+		waitFor(t, fmt.Sprintf("window %d reconciliation", wi), func() bool {
+			return srvC.PeerLifecycleState("P2") == PeerHealthy && srvC.recon.depth("P2") == 0
+		})
+		fmt.Fprintf(&b, "w%d:healed\n", wi)
+	}
+
+	// Drain the survivors while healthy and verify all capacity returned.
+	for _, s := range live {
+		if err := c.Call(MethodDeleteSlice, DeleteRequest{Credential: userCred(), Name: s.name}, nil); err != nil {
+			t.Fatalf("final delete %s: %v", s.name, err)
+		}
+		if s.hasP2 {
+			expRelease++
+		}
+	}
+	if got := authC.Utilization(); got != 0 {
+		t.Errorf("C utilization after drain = %g, want 0", got)
+	}
+	if got := auth1.Utilization(); got != 0 {
+		t.Errorf("P1 utilization after drain = %g, want 0", got)
+	}
+	if got := auth2.Utilization(); got != 0 {
+		t.Errorf("P2 utilization after drain = %g, want 0 (orphans must be retired)", got)
+	}
+
+	// Exactly-once at the partitioned peer: executions (dispatched minus
+	// dedup replays) equal the keys the coordinator drew — every queued
+	// operation ran once, no more, despite replays.
+	resExec := counterValue(reg2, "fedshare_sfa_requests_total", MethodReserve) -
+		counterValue(reg2, "fedshare_sfa_dedup_replays_total", MethodReserve)
+	relExec := counterValue(reg2, "fedshare_sfa_requests_total", MethodRelease) -
+		counterValue(reg2, "fedshare_sfa_dedup_replays_total", MethodRelease)
+	if resExec != expReserve {
+		t.Errorf("P2 reserve executions = %d, want %d", resExec, expReserve)
+	}
+	if relExec != expRelease+expRetire {
+		t.Errorf("P2 release executions = %d, want %d (%d releases + %d retires)",
+			relExec, expRelease+expRetire, expRelease, expRetire)
+	}
+	runs := regC.CounterVec("fedshare_sfa_reconcile_runs_total", "", "outcome")
+	if got := runs.With("converged").Value(); got != int64(len(plan)) {
+		t.Errorf("converged reconcile runs = %d, want %d", got, len(plan))
+	}
+	if got := runs.With("failed").Value(); got != 0 {
+		t.Errorf("failed reconcile runs = %d, want 0", got)
+	}
+
+	// Fully healed: shares cover the whole federation again.
+	var final SharesResponse
+	if err := c.Call(MethodGetShares, SharesRequest{Policy: "shapley"}, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Partial || len(final.Shares) != 3 {
+		t.Errorf("final shares = partial=%t n=%d, want full federation", final.Partial, len(final.Shares))
+	}
+
+	fmt.Fprintf(&b, "events=%v\n", gate.Events())
+	fmt.Fprintf(&b, "exec reserve=%d release=%d retire=%d\n", resExec, relExec-expRetire, expRetire)
+	return b.String()
+}
+
+// TestPartitionHealConvergence is the partition/heal chaos suite: the same
+// seed must drive byte-identical schedules and outcomes, every window must
+// reconcile to convergence, and the partitioned peer must observe each
+// reservation and release exactly once.
+func TestPartitionHealConvergence(t *testing.T) {
+	seed := chaosSeed(t)
+	first := runPartitionChaos(t, seed)
+	second := runPartitionChaos(t, seed)
+	if first != second {
+		t.Errorf("same seed produced different runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	t.Logf("partition chaos transcript (seed %d):\n%s", seed, first)
+}

@@ -97,14 +97,38 @@ func (cfg ClientConfig) withDefaults() ClientConfig {
 var ErrCircuitOpen = errors.New("sfa: circuit breaker open")
 
 // RemoteError is a failure reported by the server itself: the transport
-// round-trip succeeded, so the client does not retry and the breaker does
-// not count it against the peer.
+// round-trip succeeded, so the breaker does not count it against the peer.
+// Most remote errors are final (retrying would re-execute the request);
+// the one exception is Code == CodeOverloaded, which the server guarantees
+// was shed before execution, so the client retries it with backoff.
 type RemoteError struct {
 	Method string
 	Msg    string
+	Code   string
 }
 
 func (e *RemoteError) Error() string { return "sfa: remote: " + e.Msg }
+
+// IsOverloaded reports whether err is (or wraps) a server shed response:
+// the request was rejected by the admission gate without executing. Load
+// generators use it to separate shed traffic from real transport failures.
+func IsOverloaded(err error) bool {
+	var remote *RemoteError
+	return errors.As(err, &remote) && remote.Code == CodeOverloaded
+}
+
+// isTransportFailure classifies a Call error for peer-health purposes: any
+// answered request — success, remote error, or overload shed — proves the
+// peer alive, while dial/read/write/deadline failures (including a
+// fast-failing open breaker, which stands in for the failures that opened
+// it) count against it.
+func isTransportFailure(err error) bool {
+	if err == nil {
+		return false
+	}
+	var remote *RemoteError
+	return !errors.As(err, &remote)
+}
 
 // backoffDelay computes the sleep before retry attempt (attempt >= 1),
 // exponential in the attempt number with deterministic jitter drawn from

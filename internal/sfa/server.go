@@ -38,6 +38,27 @@ type ServerConfig struct {
 	// simulated clock so expiry is driven deterministically; fedd keeps
 	// the wall clock.
 	Now func() time.Time
+	// MaxInFlight bounds concurrently executing requests; excess requests
+	// are shed unexecuted with CodeOverloaded so clients retry with
+	// backoff instead of piling onto a saturated server. 0 = unlimited
+	// (the historical behavior).
+	MaxInFlight int
+	// ProbeInterval paces peer liveness probes (default 2s). Probes
+	// piggyback on the reaper tick and due-ness is judged by Now, so tests
+	// drive them with a simulated clock.
+	ProbeInterval time.Duration
+	// SuspectAfter and DownAfter are the consecutive-transport-failure
+	// thresholds for healthy→suspect (default 1) and suspect→down
+	// (default 3, counted from the first failure of the streak).
+	SuspectAfter int
+	DownAfter    int
+	// Seed feeds the deterministic probe-jitter RNG.
+	Seed uint64
+	// PeerClient, when set, builds the ClientConfig for outbound peer
+	// connections (PeerWith and peering back-dials); tests use it to
+	// route peer traffic through fault gates, fake clocks, and custom
+	// breaker settings. Addr and Registry are filled in if left zero.
+	PeerClient func(addr string) ClientConfig
 }
 
 func (cfg ServerConfig) withDefaults() ServerConfig {
@@ -53,6 +74,15 @@ func (cfg ServerConfig) withDefaults() ServerConfig {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 1
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
 	return cfg
 }
 
@@ -60,17 +90,20 @@ func (cfg ServerConfig) withDefaults() ServerConfig {
 // TCP, manages peering, embeds federated slices, and computes value shares
 // from the federation's advertised contributions.
 type Server struct {
-	auth    *planetlab.Authority
-	secret  []byte
-	demand  *economics.Workload
-	log     *obs.Logger
-	obsreg  *obs.Registry
-	metrics *serverMetrics
-	cfg     ServerConfig
-	dedup   *dedupTable
-	leases  *leaseTable
-	seq     atomic.Uint64 // per-lifecycle nonce for outbound idempotency keys
-	store   Store         // nil = memory-only (the default)
+	auth     *planetlab.Authority
+	secret   []byte
+	demand   *economics.Workload
+	log      *obs.Logger
+	obsreg   *obs.Registry
+	metrics  *serverMetrics
+	cfg      ServerConfig
+	dedup    *dedupTable
+	leases   *leaseTable
+	health   *healthTracker
+	recon    *reconciler
+	seq      atomic.Uint64 // per-lifecycle nonce for outbound idempotency keys
+	inflight atomic.Int64  // requests currently being handled (admission gate)
+	store    Store         // nil = memory-only (the default)
 
 	// durableMu serializes every (state mutation + store append) pair so
 	// the log is a true linearization of execution: replaying a durable
@@ -101,6 +134,11 @@ type Server struct {
 type peerHandle struct {
 	record AuthorityRecord
 	client *Client
+	// lastResources is the peer's last successful advertisement (guarded
+	// by the server's mu): when the peer is down, degraded-mode share
+	// computation still shapes the full federation model with it before
+	// restricting valuation to the live sub-federation.
+	lastResources *ResourceList
 }
 
 // Option customizes a Server.
@@ -165,6 +203,15 @@ func NewServer(auth *planetlab.Authority, secret []byte, opts ...Option) *Server
 	}
 	s.dedup = newDedupTable(s.cfg.DedupCapacity)
 	s.metrics = newServerMetrics(s.obsreg)
+	s.recon = newReconciler()
+	s.health = newHealthTracker(s.cfg.Now, s.cfg.SuspectAfter, s.cfg.DownAfter, s.cfg.ProbeInterval, s.cfg.Seed)
+	s.health.onTransition = func(peer string, from, to PeerState) {
+		s.metrics.peerState.With(peer).Set(float64(to))
+		if from != to {
+			s.metrics.peerTransitions.With(peer, to.String()).Inc()
+			s.log.Infof("sfa[%s]: peer %s: %s -> %s", s.auth.Name, peer, from, to)
+		}
+	}
 	// Delta updates (not Set) so servers sharing a registry aggregate.
 	s.leases.onChange = func(delta int) { s.metrics.leasesActive.Add(float64(delta)) }
 	if s.store != nil {
@@ -253,6 +300,7 @@ func (s *Server) reapLoop() {
 			return
 		case <-t.C:
 			s.reapExpiredLeases()
+			s.probePeers()
 		}
 	}
 }
@@ -505,6 +553,20 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req *Envelope) *Envelope {
+	// Admission gate: shed excess load before any work happens. Shed
+	// requests are guaranteed unexecuted, carry CodeOverloaded so clients
+	// retry with backoff without tripping their breakers, and do NOT count
+	// in requests_total — the dispatched−replayed exactly-once identity
+	// covers only executed traffic.
+	if max := s.cfg.MaxInFlight; max > 0 {
+		if n := s.inflight.Add(1); n > int64(max) {
+			s.inflight.Add(-1)
+			s.metrics.shed.Inc()
+			s.log.Debugf("sfa[%s]: shed %s: in-flight bound %d reached", s.auth.Name, req.Method, max)
+			return &Envelope{ID: req.ID, Error: "server overloaded: in-flight admission bound reached", Code: CodeOverloaded}
+		}
+		defer s.inflight.Add(-1)
+	}
 	label := methodLabel(req.Method)
 	start := time.Now()
 	resp := &Envelope{ID: req.ID}
@@ -573,6 +635,12 @@ func (s *Server) handle(method string, params json.RawMessage) (interface{}, err
 		return s.handleShares(p)
 	case MethodGetUsage:
 		return s.handleUsage(), nil
+	case MethodListHoldings:
+		var p HoldingsRequest
+		if err := json.Unmarshal(params, &p); err != nil {
+			return nil, fmt.Errorf("bad holdings request: %w", err)
+		}
+		return s.handleListHoldings(p)
 	}
 	return nil, fmt.Errorf("unknown method %q", method)
 }
@@ -595,6 +663,34 @@ func (s *Server) listResources() ResourceList {
 	return out
 }
 
+// newPeerClient builds the client for an outbound peer connection, through
+// the PeerClient hook when configured. The connection is lazy; callers that
+// need eager errors issue a Ping.
+func (s *Server) newPeerClient(addr string) *Client {
+	var cc ClientConfig
+	if s.cfg.PeerClient != nil {
+		cc = s.cfg.PeerClient(addr)
+	} else {
+		cc = ClientConfig{DialTimeout: 10 * time.Second, CallTimeout: 10 * time.Second}
+	}
+	if cc.Addr == "" {
+		cc.Addr = addr
+	}
+	if cc.Registry == nil {
+		cc.Registry = s.obsreg
+	}
+	return NewClient(cc)
+}
+
+// callPeer performs one RPC against a peer and feeds the outcome to the
+// health tracker: transport failures count against the peer, any answered
+// request proves it alive.
+func (s *Server) callPeer(name string, client *Client, method string, params, result interface{}) error {
+	err := client.Call(method, params, result)
+	s.health.observe(name, !isTransportFailure(err))
+	return err
+}
+
 // handlePeer records the caller as a peer and connects back to it.
 func (s *Server) handlePeer(p PeerRequest) (*PeerResponse, error) {
 	if err := s.verify(p.Credential); err != nil {
@@ -603,8 +699,9 @@ func (s *Server) handlePeer(p PeerRequest) (*PeerResponse, error) {
 	if p.Record.Name == s.auth.Name {
 		return nil, fmt.Errorf("cannot peer with self")
 	}
-	client, err := Dial(p.Record.Addr, 10*time.Second)
-	if err != nil {
+	client := s.newPeerClient(p.Record.Addr)
+	if err := client.Call(MethodPing, nil, nil); err != nil {
+		_ = client.Close()
 		return nil, fmt.Errorf("peer back-dial: %w", err)
 	}
 	s.mu.Lock()
@@ -616,8 +713,123 @@ func (s *Server) handlePeer(p PeerRequest) (*PeerResponse, error) {
 	rec := s.record
 	rec.Sites = s.auth.SiteCount()
 	s.mu.Unlock()
+	s.health.ensure(p.Record.Name)
 	s.log.Infof("sfa[%s]: peered with %s (%s)", s.auth.Name, p.Record.Name, p.Record.Addr)
 	return &PeerResponse{Record: rec}, nil
+}
+
+// handleListHoldings answers the anti-entropy read: which reserve holdings
+// this authority tracks for the asking coordinator, canonically ordered.
+func (s *Server) handleListHoldings(p HoldingsRequest) (*HoldingsResponse, error) {
+	if err := s.verify(p.Credential); err != nil {
+		return nil, err
+	}
+	holder := p.Holder
+	if holder == "" {
+		holder = p.Credential.Subject
+	}
+	resp := &HoldingsResponse{Authority: s.auth.Name}
+	for _, l := range s.leases.holdingsFor(holder) {
+		h := Holding{Slice: l.slice, Slivers: toRecords(s.auth.Name, l.slivers)}
+		if !l.expiry.IsZero() {
+			h.Expiry = l.expiry.UnixNano()
+		}
+		sort.Slice(h.Slivers, func(i, j int) bool {
+			if h.Slivers[i].SiteID != h.Slivers[j].SiteID {
+				return h.Slivers[i].SiteID < h.Slivers[j].SiteID
+			}
+			return h.Slivers[i].NodeID < h.Slivers[j].NodeID
+		})
+		resp.Holdings = append(resp.Holdings, h)
+	}
+	sort.Slice(resp.Holdings, func(i, j int) bool { return resp.Holdings[i].Slice < resp.Holdings[j].Slice })
+	return resp, nil
+}
+
+// probePeers pings every peer whose probe deadline has passed (paced by
+// the reaper tick, judged by cfg.Now). A probe reaching a down peer starts
+// recovery: the reconciler runs inline on the reaper goroutine — so Close,
+// which stops the reaper before closing peer clients, never races it — and
+// readmits the peer only after proving convergence. A healthy peer with
+// queued operations (accrued in a transition race window) is drained
+// through the same path.
+func (s *Server) probePeers() {
+	for _, name := range s.health.dueProbes() {
+		s.mu.Lock()
+		ph := s.peers[name]
+		stopped := s.closed || s.draining
+		s.mu.Unlock()
+		if ph == nil || stopped {
+			continue
+		}
+		err := ph.client.Call(MethodPing, nil, nil)
+		ok := !isTransportFailure(err)
+		switch s.health.state(name) {
+		case PeerDown:
+			if ok && s.health.beginRecovery(name) {
+				s.log.Infof("sfa[%s]: probe reached down peer %s; reconciling", s.auth.Name, name)
+				s.reconcilePeer(name, ph)
+			}
+		case PeerRecovering:
+			// Owned by a reconciler; nothing to observe.
+		default:
+			s.health.observe(name, ok)
+			if ok && s.recon.depth(name) > 0 && s.health.beginDrain(name) {
+				s.reconcilePeer(name, ph)
+			}
+		}
+	}
+}
+
+// cacheResources remembers a peer's last successful advertisement;
+// cachedResources returns it (nil if none).
+func (s *Server) cacheResources(name string, rl *ResourceList) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ph, ok := s.peers[name]; ok {
+		ph.lastResources = rl
+	}
+}
+
+func (s *Server) cachedResources(name string) *ResourceList {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ph, ok := s.peers[name]; ok {
+		return ph.lastResources
+	}
+	return nil
+}
+
+// PeerHealth reports each peer's lifecycle condition, breaker state, and
+// reconcile backlog, sorted by name — the data behind fedd's /peersz
+// endpoint and fedctl status's peer table.
+func (s *Server) PeerHealth() []PeerHealthInfo {
+	infos := s.health.snapshot()
+	s.mu.Lock()
+	handles := make(map[string]*peerHandle, len(s.peers))
+	for n, ph := range s.peers {
+		handles[n] = ph
+	}
+	s.mu.Unlock()
+	out := infos[:0]
+	for _, info := range infos {
+		ph, ok := handles[info.Peer]
+		if !ok {
+			continue // tracked but no longer peered
+		}
+		info.Addr = ph.record.Addr
+		if ph.client != nil {
+			info.Breaker = ph.client.BreakerState()
+		}
+		info.Backlog = s.recon.depth(info.Peer)
+		out = append(out, info)
+	}
+	return out
+}
+
+// PeerLifecycleState returns one peer's current health state.
+func (s *Server) PeerLifecycleState(name string) PeerState {
+	return s.health.state(name)
 }
 
 // handleReserve places slivers locally for a remote federated slice. With
@@ -693,15 +905,16 @@ func (s *Server) reserveLocked(p ReserveRequest) (*ReserveResponse, error) {
 	if len(placed) > 0 {
 		// Track every holding, leased (TTL set, zero expiry means held
 		// indefinitely) or not, so Release can free exactly the slivers
-		// still held here and nothing else.
+		// still held here and nothing else. The holder (credential
+		// subject) keys the anti-entropy ListHoldings read.
 		if p.TTLSeconds > 0 {
 			expiry = s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
 		}
-		s.leases.add(p.SliceName, leaseReserve, placed, expiry)
+		s.leases.add(p.SliceName, leaseReserve, p.Credential.Subject, placed, expiry)
 	}
 	resp := &ReserveResponse{Slivers: toRecords(s.auth.Name, placed)}
 	if s.store != nil && (len(placed) > 0 || p.IdempotencyKey != "") {
-		rec := Record{Op: OpReserve, Slice: p.SliceName, Slivers: resp.Slivers}
+		rec := Record{Op: OpReserve, Slice: p.SliceName, Holder: p.Credential.Subject, Slivers: resp.Slivers}
 		if p.IdempotencyKey != "" {
 			rec.Key = "reserve:" + p.IdempotencyKey
 		}
@@ -835,6 +1048,14 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 	// otherwise poison the slice name at that peer forever.
 	gen := s.nextGen()
 	for _, ph := range s.peerList() {
+		name := ph.record.Name
+		if st := s.health.state(name); st == PeerDown || st == PeerRecovering {
+			// Degraded mode: place on the live sub-federation only. No
+			// idempotency key is drawn, so nothing can replay at the peer
+			// later.
+			s.log.Debugf("sfa[%s]: skipping %s peer %s for slice %s", s.auth.Name, st, name, p.Name)
+			continue
+		}
 		need := 1 << 20 // effectively unbounded
 		if maxSites > 0 {
 			need = maxSites - sitesGot
@@ -842,16 +1063,28 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 				break
 			}
 		}
-		var rr ReserveResponse
-		err := ph.client.Call(MethodReserve, ReserveRequest{
-			Credential: cred, SliceName: p.Name, Sites: need, PerSite: per,
+		req := ReserveRequest{
+			SliceName: p.Name, Sites: need, PerSite: per,
 			// One logical reservation per (coordinator, slice lifecycle,
 			// peer): retries of this call dedup server-side.
-			IdempotencyKey: fmt.Sprintf("%s/%s#%d@%s", s.auth.Name, p.Name, gen, ph.record.Name),
+			IdempotencyKey: fmt.Sprintf("%s/%s#%d@%s", s.auth.Name, p.Name, gen, name),
 			TTLSeconds:     p.TTLSeconds,
-		}, &rr)
+		}
+		queued := req // credential-free copy; reconciliation re-signs it
+		req.Credential = cred
+		var rr ReserveResponse
+		err := s.callPeer(name, ph.client, MethodReserve, req, &rr)
 		if err != nil {
-			s.log.Errorf("sfa[%s]: reserve at %s failed: %v", s.auth.Name, ph.record.Name, err)
+			s.log.Errorf("sfa[%s]: reserve at %s failed: %v", s.auth.Name, name, err)
+			if isTransportFailure(err) {
+				// The request may or may not have reached the peer. Queue
+				// it under its original key: reconciliation replays it
+				// (dedup settles which case happened) and then retires the
+				// resulting orphan slivers, since this slice commits
+				// without them.
+				s.recon.enqueue(name, pendingOp{method: MethodReserve, slice: p.Name, key: queued.IdempotencyKey, reserve: &queued})
+				s.setBacklogGauge(name)
+			}
 			continue
 		}
 		siteSeen := map[string]bool{}
@@ -892,7 +1125,7 @@ func (s *Server) handleCreateSlice(p SliceRequest) (*SliceResponse, error) {
 		// Lease the whole slice for the experiment's holding time; the
 		// reaper deletes it (and releases remote slivers) at expiry.
 		expiry = s.cfg.Now().Add(time.Duration(p.TTLSeconds * float64(time.Second)))
-		s.leases.add(p.Name, leaseSlice, nil, expiry)
+		s.leases.add(p.Name, leaseSlice, "", nil, expiry)
 	}
 	if s.store != nil {
 		rec := Record{Op: OpCreateSlice, Slice: p.Name, Spec: specState(slice.Spec),
@@ -956,6 +1189,9 @@ func (s *Server) handleDeleteSlice(p DeleteRequest) (*Empty, error) {
 }
 
 // releaseRemote frees slivers held at peers, grouped per authority.
+// Releases bound for down or recovering peers — and releases that fail at
+// the transport level — are queued under their idempotency key for
+// reconciliation to replay, so a partition never loses a release.
 func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
 	if len(slivers) == 0 {
 		return
@@ -969,7 +1205,8 @@ func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
 	// a key, but a later lifecycle's release of a recreated slice name is
 	// never swallowed by this one's cached outcome.
 	gen := s.nextGen()
-	for name, svs := range byPeer {
+	for _, name := range sortedKeys(byPeer) {
+		svs := byPeer[name]
 		s.mu.Lock()
 		ph := s.peers[name]
 		s.mu.Unlock()
@@ -977,12 +1214,28 @@ func (s *Server) releaseRemote(sliceName string, slivers []SliverRecord) {
 			s.log.Errorf("sfa[%s]: cannot release %d slivers at unknown peer %s", s.auth.Name, len(svs), name)
 			continue
 		}
-		if err := ph.client.Call(MethodRelease, ReleaseRequest{
-			Credential: cred, SliceName: sliceName, Slivers: svs,
+		req := ReleaseRequest{
+			SliceName: sliceName, Slivers: svs,
 			// Retries of this release must not double-free at the peer.
 			IdempotencyKey: fmt.Sprintf("%s/%s#%d@%s", s.auth.Name, sliceName, gen, name),
-		}, nil); err != nil {
+		}
+		if st := s.health.state(name); st == PeerDown || st == PeerRecovering {
+			// Known unreachable: queue instead of burning a call timeout.
+			queued := req
+			s.recon.enqueue(name, pendingOp{method: MethodRelease, slice: sliceName, key: req.IdempotencyKey, release: &queued})
+			s.setBacklogGauge(name)
+			s.log.Infof("sfa[%s]: queued release of %d slivers of %s for %s peer %s",
+				s.auth.Name, len(svs), sliceName, st, name)
+			continue
+		}
+		queued := req // credential-free copy; reconciliation re-signs it
+		req.Credential = cred
+		if err := s.callPeer(name, ph.client, MethodRelease, req, nil); err != nil {
 			s.log.Errorf("sfa[%s]: release at %s: %v", s.auth.Name, name, err)
+			if isTransportFailure(err) {
+				s.recon.enqueue(name, pendingOp{method: MethodRelease, slice: sliceName, key: queued.IdempotencyKey, release: &queued})
+				s.setBacklogGauge(name)
+			}
 		}
 	}
 }
@@ -1006,6 +1259,15 @@ func (s *Server) peerList() []*peerHandle {
 // handleShares builds the federation's economic model from its own and its
 // peers' advertised resources and computes value shares under the requested
 // policy — the paper's method exposed as a network service.
+//
+// Unreachable peers degrade the computation instead of failing it: down
+// and recovering peers (and any peer whose live listing fails at the
+// transport level) are excluded from valuation, shares are computed over
+// the live sub-federation, and the response carries the Partial marker
+// with the excluded authorities. A down peer's last advertisement, when
+// cached, still shapes the full model so the sub-federation is priced as
+// a coalition of the same game; the demand profile never shrinks just
+// because peers died.
 func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
 	sp := s.obsreg.StartSpan("sfa.shares").Attr("policy", p.Policy)
 	defer sp.End()
@@ -1013,6 +1275,7 @@ func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
 		name     string
 		sites    int
 		capacity float64 // per-site
+		live     bool
 	}
 	var contribs []contribution
 
@@ -1027,13 +1290,37 @@ func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
 	if ownSites > 0 {
 		perSite = ownCap / float64(ownSites)
 	}
-	contribs = append(contribs, contribution{s.auth.Name, ownSites, perSite})
+	contribs = append(contribs, contribution{s.auth.Name, ownSites, perSite, true})
 
 	// Peers' advertised resources.
+	var down []string
 	for _, ph := range s.peerList() {
-		var rl ResourceList
-		if err := ph.client.Call(MethodListResources, Empty{}, &rl); err != nil {
-			return nil, fmt.Errorf("list resources at %s: %w", ph.record.Name, err)
+		name := ph.record.Name
+		var rl *ResourceList
+		live := false
+		if st := s.health.state(name); st == PeerDown || st == PeerRecovering {
+			rl = s.cachedResources(name)
+		} else {
+			var fresh ResourceList
+			err := s.callPeer(name, ph.client, MethodListResources, Empty{}, &fresh)
+			switch {
+			case err == nil:
+				live = true
+				rl = &fresh
+				s.cacheResources(name, &fresh)
+			case isTransportFailure(err):
+				rl = s.cachedResources(name)
+			default:
+				return nil, fmt.Errorf("list resources at %s: %w", name, err)
+			}
+		}
+		if rl == nil {
+			// Unreachable and never successfully listed: nothing to model.
+			down = append(down, name)
+			continue
+		}
+		if !live {
+			down = append(down, name)
 		}
 		sites := len(rl.Sites)
 		capTotal := 0.0
@@ -1044,7 +1331,7 @@ func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
 		if sites > 0 {
 			per = capTotal / float64(sites)
 		}
-		contribs = append(contribs, contribution{rl.Authority, sites, per})
+		contribs = append(contribs, contribution{rl.Authority, sites, per, live})
 	}
 	sort.Slice(contribs, func(i, j int) bool { return contribs[i].name < contribs[j].name })
 
@@ -1055,7 +1342,8 @@ func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
 	demand := s.demand
 	if demand == nil {
 		// Default profile: one diversity-hungry experiment spanning half
-		// the federation's sites.
+		// the federation's sites (stale contributions included — demand
+		// does not shrink with the live set).
 		total := 0
 		for _, c := range contribs {
 			total += c.sites
@@ -1076,6 +1364,19 @@ func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	if len(down) > 0 {
+		liveSet := map[string]bool{}
+		for _, c := range contribs {
+			if c.live {
+				liveSet[c.name] = true
+			}
+		}
+		sub, _, err := model.SubFederation(func(n string) bool { return liveSet[n] })
+		if err != nil {
+			return nil, err
+		}
+		model = sub
+	}
 	pol, err := core.PolicyByName(p.Policy)
 	if err != nil {
 		return nil, err
@@ -1089,8 +1390,13 @@ func (s *Server) handleShares(p SharesRequest) (*SharesResponse, error) {
 		GrandValue: model.GrandValue(),
 		Shares:     map[string]float64{},
 	}
-	for i, c := range contribs {
-		resp.Shares[c.name] = sharesVec[i]
+	for i, f := range model.Facilities {
+		resp.Shares[f.Name] = sharesVec[i]
+	}
+	if len(down) > 0 {
+		sort.Strings(down)
+		resp.Partial = true
+		resp.Down = down
 	}
 	return resp, nil
 }
@@ -1149,7 +1455,7 @@ func (s *Server) snapshotState() State {
 		})
 	}
 	for _, l := range s.leases.snapshot() {
-		ls := LeaseState{Slice: l.slice, Kind: int(l.kind),
+		ls := LeaseState{Slice: l.slice, Kind: int(l.kind), Holder: l.holder,
 			Slivers: toRecords(s.auth.Name, l.slivers)}
 		if !l.expiry.IsZero() {
 			ls.Expiry = l.expiry.UnixNano()
@@ -1202,7 +1508,7 @@ func (s *Server) Restore(st *State) error {
 		if l.Expiry != 0 {
 			expiry = time.Unix(0, l.Expiry)
 		}
-		s.leases.install(l.Slice, leaseKind(l.Kind), slivers, expiry)
+		s.leases.install(l.Slice, leaseKind(l.Kind), l.Holder, slivers, expiry)
 	}
 	for _, e := range st.Dedup {
 		var resp interface{}
@@ -1225,10 +1531,7 @@ func (s *Server) Restore(st *State) error {
 // introduces itself, and records the remote as a peer, so federation flows
 // both ways after the remote's back-dial.
 func (s *Server) PeerWith(addr string) error {
-	client, err := Dial(addr, 10*time.Second)
-	if err != nil {
-		return err
-	}
+	client := s.newPeerClient(addr)
 	s.mu.Lock()
 	rec := s.record
 	rec.Sites = s.auth.SiteCount()
@@ -1246,6 +1549,7 @@ func (s *Server) PeerWith(addr string) error {
 	s.peers[resp.Record.Name] = &peerHandle{record: resp.Record, client: client}
 	s.metrics.peers.Set(float64(len(s.peers)))
 	s.mu.Unlock()
+	s.health.ensure(resp.Record.Name)
 	s.log.Infof("sfa[%s]: peered with %s (%s)", s.auth.Name, resp.Record.Name, resp.Record.Addr)
 	return nil
 }

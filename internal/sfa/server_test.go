@@ -494,9 +494,22 @@ func TestPeerFailureDegradesGracefully(t *testing.T) {
 		}
 	}
 
-	// Shares computation also fails loudly (peer unreachable) rather than
-	// silently fabricating a federation.
-	if err := c.Call(MethodGetShares, SharesRequest{Policy: "shapley"}, nil); err == nil {
-		t.Error("GetShares with a dead peer should fail")
+	// Shares computation degrades instead of failing: it prices the live
+	// sub-federation and flags the result as partial, naming the dead peer.
+	var shares SharesResponse
+	if err := c.Call(MethodGetShares, SharesRequest{Policy: "shapley"}, &shares); err != nil {
+		t.Fatalf("GetShares with a dead peer should degrade, not fail: %v", err)
+	}
+	if !shares.Partial {
+		t.Error("shares with a dead peer should carry the partial marker")
+	}
+	if len(shares.Down) != 1 || shares.Down[0] != "PLE" {
+		t.Errorf("down = %v, want [PLE]", shares.Down)
+	}
+	if _, ok := shares.Shares["PLE"]; ok {
+		t.Error("dead peer must not receive a share")
+	}
+	if sh, ok := shares.Shares["PLC"]; !ok || sh <= 0 {
+		t.Errorf("live sub-federation share for PLC = %v, %v", sh, ok)
 	}
 }

@@ -33,6 +33,10 @@ const (
 	// OpGen: an idempotency generation was drawn, so a recovered server
 	// never reuses a generation that may have reached a peer.
 	OpGen = "gen"
+	// OpAmendRemote: the reconciler proved some of a slice's peer-held
+	// slivers were lost (the peer restarted without them); Remote is the
+	// slice's corrected peer-sliver set.
+	OpAmendRemote = "amend_remote"
 )
 
 // Record is one durable mutation. Fields are a union over the ops above;
@@ -41,6 +45,7 @@ type Record struct {
 	Op      string          `json:"op"`
 	Slice   string          `json:"slice,omitempty"`
 	Key     string          `json:"key,omitempty"`
+	Holder  string          `json:"holder,omitempty"` // reserving coordinator (OpReserve)
 	Err     string          `json:"err,omitempty"`
 	Kind    int             `json:"kind,omitempty"`   // leaseKind for OpExpire
 	Expiry  int64           `json:"expiry,omitempty"` // UnixNano; 0 = no lease
@@ -102,6 +107,7 @@ type SliceState struct {
 type LeaseState struct {
 	Slice   string         `json:"slice"`
 	Kind    int            `json:"kind"`
+	Holder  string         `json:"holder,omitempty"`
 	Expiry  int64          `json:"expiry,omitempty"` // UnixNano; 0 = indefinite
 	Slivers []SliverRecord `json:"slivers,omitempty"`
 }
@@ -202,7 +208,7 @@ func (st *State) applyRecord(rec Record) error {
 				}
 			} else {
 				st.Leases = append(st.Leases, LeaseState{
-					Slice: rec.Slice, Kind: int(leaseReserve),
+					Slice: rec.Slice, Kind: int(leaseReserve), Holder: rec.Holder,
 					Expiry: rec.Expiry, Slivers: rec.Slivers,
 				})
 			}
@@ -251,6 +257,13 @@ func (st *State) applyRecord(rec Record) error {
 		}
 	case OpDeleteSlice:
 		st.deleteSlice(rec.Slice)
+	case OpAmendRemote:
+		for i := range st.Slices {
+			if st.Slices[i].Spec.Name == rec.Slice {
+				st.Slices[i].Remote = rec.Remote
+				break
+			}
+		}
 	case OpExpire:
 		switch leaseKind(rec.Kind) {
 		case leaseReserve:

@@ -27,7 +27,15 @@ type Envelope struct {
 	Params json.RawMessage `json:"params,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Code classifies machine-actionable errors. The only defined value is
+	// CodeOverloaded, which marks the error as retriable without counting
+	// against the peer's health (the server answered; it just shed load).
+	Code string `json:"code,omitempty"`
 }
+
+// CodeOverloaded is the Envelope.Code of a response shed by the server's
+// admission gate: the request was NOT executed and may be retried safely.
+const CodeOverloaded = "overloaded"
 
 // WriteFrame writes one length-prefixed JSON frame.
 func WriteFrame(w io.Writer, env *Envelope) error {
@@ -94,6 +102,7 @@ const (
 	MethodRelease       = "sfa.Release"
 	MethodGetShares     = "sfa.GetShares"
 	MethodGetUsage      = "sfa.GetUsage"
+	MethodListHoldings  = "sfa.ListHoldings"
 )
 
 // --- Message payloads ---
@@ -201,11 +210,17 @@ type SharesRequest struct {
 	Policy string `json:"policy"` // "shapley", "proportional", ...
 }
 
-// SharesResponse maps authority names to normalized shares.
+// SharesResponse maps authority names to normalized shares. When peers are
+// unreachable the coordinator degrades instead of erroring: Partial marks
+// the response as computed over the live sub-federation only, and Down
+// lists the excluded authorities. Both fields are omitted on the healthy
+// path, so all-peers-live responses are byte-identical to earlier versions.
 type SharesResponse struct {
 	Policy     string             `json:"policy"`
 	GrandValue float64            `json:"grand_value"`
 	Shares     map[string]float64 `json:"shares"`
+	Partial    bool               `json:"partial,omitempty"`
+	Down       []string           `json:"down,omitempty"`
 }
 
 // UsageResponse reports the cumulative slivers each authority has served
@@ -217,6 +232,30 @@ type UsageResponse struct {
 	CumulativeSlivers map[string]int     `json:"cumulative_slivers"`
 	MeasuredShares    map[string]float64 `json:"measured_shares"`
 	SlicesEmbedded    int                `json:"slices_embedded"`
+}
+
+// HoldingsRequest asks a peer which reserve holdings it currently tracks
+// for a given coordinator — the anti-entropy read the reconciler diffs
+// against its own intent after a partition heals. Holder defaults to the
+// credential subject.
+type HoldingsRequest struct {
+	Credential Credential `json:"credential"`
+	Holder     string     `json:"holder,omitempty"`
+}
+
+// Holding is one slice's live reserve holding at the answering authority.
+type Holding struct {
+	Slice   string         `json:"slice"`
+	Expiry  int64          `json:"expiry,omitempty"` // UnixNano; 0 = held until released
+	Slivers []SliverRecord `json:"slivers,omitempty"`
+}
+
+// HoldingsResponse lists the holder's holdings, sorted by slice name with
+// slivers sorted by (site, node) so two identical states encode
+// identically.
+type HoldingsResponse struct {
+	Authority string    `json:"authority"`
+	Holdings  []Holding `json:"holdings,omitempty"`
 }
 
 // DeleteRequest removes a slice.
